@@ -1,0 +1,44 @@
+# Development targets for the tbtso reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race bench figures figures-quick demos clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# testing.B versions of every figure + micro/ablation benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure of the paper's evaluation (plus the §6.1
+# bail-out validation and the §4.2.1 sizing numbers).
+figures:
+	$(GO) run ./cmd/tbtso-bench -figure all
+
+figures-quick:
+	$(GO) run ./cmd/tbtso-bench -figure all -quick
+
+# Extension experiments: thread scaling and the passive RW lock.
+extensions:
+	$(GO) run ./cmd/tbtso-bench -figure scaling,rwlock
+
+# The soundness demonstrations.
+demos:
+	$(GO) run ./cmd/tbtso-sim -demo reclaim
+	$(GO) run ./cmd/tbtso-sim -demo deque
+	$(GO) run ./cmd/tbtso-sim -exhaustive
+
+clean:
+	$(GO) clean ./...

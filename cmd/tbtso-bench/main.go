@@ -1,0 +1,119 @@
+// Command tbtso-bench regenerates the paper's evaluation figures:
+//
+//	tbtso-bench -figure all            # every figure, default sizes
+//	tbtso-bench -figure 6 -quick       # Figure 6 at CI scale
+//	tbtso-bench -figure 8 -dur 2s      # longer cells
+//	tbtso-bench -figure 5 -csv         # raw CDF series as CSV
+//	tbtso-bench -figure sizing         # the §4.2.1 sizing numbers
+//
+// The absolute numbers come from this machine and Go's runtime, not the
+// paper's Westmere-EX testbed; EXPERIMENTS.md documents the shape
+// comparison per figure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tbtso/internal/bench"
+	"tbtso/internal/quiesce"
+	"tbtso/internal/report"
+)
+
+func main() {
+	var (
+		figure  = flag.String("figure", "all", "which figure to regenerate: 4, 5, 6, 7, 8, bailout, scaling, rwlock, sizing, or all")
+		list    = flag.Bool("list", false, "list the available figures and exit")
+		quick   = flag.Bool("quick", false, "CI-scale run sizes")
+		dur     = flag.Duration("dur", 0, "measurement duration per cell (default 400ms, quick 80ms)")
+		threads = flag.Int("threads", 0, "worker threads (default GOMAXPROCS)")
+		buckets = flag.Int("buckets", 0, "hash table buckets (default 1024, quick 128)")
+		runs    = flag.Int("runs", 0, "repetitions per cell, median reported (default 3, quick 1)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("figures:")
+		fmt.Println("  4        quiescence latency vs quiescing threads (§6.1.2, timing model)")
+		fmt.Println("  5        store-buffering time CDF by placement (§6.1.2, timing model)")
+		fmt.Println("  bailout  §6.1 hardware design validation (τ timeout + quiescence)")
+		fmt.Println("  6        hash-table throughput per SMR scheme (§7.1)")
+		fmt.Println("  scaling  figure 6's thread-count axis (read-only, L=4)")
+		fmt.Println("  7        peak retired-node memory vs reader stall (§7.1.2)")
+		fmt.Println("  8        biased-lock throughput per access pattern (§7.2)")
+		fmt.Println("  rwlock   extension: passive RW lock vs sync.RWMutex")
+		fmt.Println("  machine6 abstract-machine lookup cost model (no-protection / FFHP / HP)")
+		fmt.Println("  sizing   §4.2.1 retirement-rate and R sizing numbers")
+		fmt.Println("  all      4, 5, bailout, 6, 7, 8, sizing")
+		return
+	}
+
+	o := bench.Options{
+		Duration: *dur,
+		Threads:  *threads,
+		Buckets:  *buckets,
+		Runs:     *runs,
+		Quick:    *quick,
+	}
+
+	emit := func(t *report.Table) {
+		if *csv {
+			t.CSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+	}
+
+	run := func(name string) {
+		start := time.Now()
+		switch name {
+		case "4":
+			emit(bench.Figure4(o))
+		case "5":
+			emit(bench.Figure5(o))
+			if *csv {
+				for _, pl := range []quiesce.Placement{quiesce.PlacementSMT, quiesce.PlacementSameSocket, quiesce.PlacementCrossSocket} {
+					fmt.Printf("# CDF %v/idle\n", pl)
+					for _, p := range bench.Figure5CDF(pl, quiesce.LoadIdle, 500_000) {
+						fmt.Printf("%d,%.6f\n", p.Value, p.Fraction)
+					}
+				}
+			}
+		case "6":
+			emit(bench.Figure6(o))
+		case "7":
+			emit(bench.Figure7(o))
+		case "8":
+			emit(bench.Figure8(o))
+		case "sizing":
+			t, _ := bench.Sizing(o)
+			emit(t)
+		case "bailout":
+			emit(bench.Bailout(o))
+		case "scaling":
+			emit(bench.Figure6Scaling(o))
+		case "rwlock":
+			emit(bench.RWLock(o))
+		case "machine6":
+			emit(bench.MachineCost(o))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "[figure %s took %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *figure == "all" {
+		for _, f := range []string{"4", "5", "bailout", "6", "7", "8", "sizing"} {
+			run(f)
+		}
+		return
+	}
+	for _, f := range strings.Split(*figure, ",") {
+		run(strings.TrimSpace(f))
+	}
+}

@@ -1,0 +1,30 @@
+// Package tbtso is a from-scratch Go reproduction of Morrison and
+// Afek, "Temporally Bounding TSO for Fence-Free Asymmetric
+// Synchronization" (ASPLOS 2015).
+//
+// The repository contains:
+//
+//   - internal/tso — the TBTSO[Δ] abstract machine (§2), an executable
+//     x86-TSO model with a global clock and a bounded store-buffer
+//     drain time, plus litmus tests (internal/litmus) and the paper's
+//     algorithms as machine programs (internal/machalg) whose safety
+//     and unsoundness claims run as tests;
+//   - internal/core — the asymmetric flag principle (§3) and the
+//     visibility bounds (TBTSO Δ and the §6.2 OS-adapted time board)
+//     as native primitives;
+//   - internal/smr — fence-free hazard pointers (§4) and every baseline
+//     the evaluation compares (HP, RCU, EBR, DTA, StackTrack) over an
+//     unmanaged arena (internal/arena) with use-after-free detection;
+//   - internal/list, internal/hashtable — Michael's nonblocking list
+//     (Figure 1) and the 1024-bucket table of §7.1;
+//   - internal/lock — the fence-free biased lock (§5, Figure 3) with
+//     echoing, and the pthread / fenced-biased / safe-point baselines;
+//   - internal/quiesce — the §6.1.2 hardware timing model behind
+//     Figures 4 and 5;
+//   - internal/bench + cmd/tbtso-bench — the harness that regenerates
+//     every figure of the evaluation; cmd/tbtso-sim explores the
+//     abstract machine.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// substitutions, and EXPERIMENTS.md for paper-vs-measured results.
+package tbtso

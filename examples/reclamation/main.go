@@ -1,0 +1,139 @@
+// Reclamation example: Figure 7 in miniature. One reader stalls inside
+// an operation (as a context switch would) while updaters churn the
+// table; the example tracks each scheme's retired-but-unreclaimed
+// memory and prints the peaks.
+//
+//	go run ./examples/reclamation
+//
+// Expected shape, per §7.1.2: FFHP and HP stay bounded by their
+// retirement threshold (FFHP a bit above HP — it keeps the last Δ of
+// retirements); RCU's waste grows with the stall, because a reader
+// stalled inside a critical section blocks every grace period.
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tbtso/internal/arena"
+	"tbtso/internal/hashtable"
+	"tbtso/internal/list"
+	"tbtso/internal/smr"
+)
+
+const (
+	workers  = 4
+	universe = 2048
+	r        = 512
+	runFor   = 300 * time.Millisecond
+)
+
+func measure(kind smr.Kind, stall time.Duration) (peakBytes uint64) {
+	// Generous headroom: RCU's waste is bounded by grace-period
+	// latency, not R, and growing during the stall is the point.
+	ar := arena.New(universe+workers*(r+64)+40000, workers+1)
+	s := smr.New(kind, smr.Config{
+		Threads: workers, K: list.NumSlots, R: r, Arena: ar,
+		Delta: 500 * time.Microsecond,
+	})
+	defer s.Close()
+	table := hashtable.New(ar, s, 256)
+
+	var stop atomic.Bool
+	var peak atomic.Uint64
+	var wg sync.WaitGroup
+
+	// Sampler: tracks peak waste.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			w := uint64(s.Unreclaimed()) * arena.NodeBytes
+			for {
+				old := peak.Load()
+				if w <= old || peak.CompareAndSwap(old, w) {
+					break
+				}
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	// Worker 0: a reader that stalls once, inside a lookup.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer flush(s, 0)
+		stalled := stall == 0
+		k := uint64(1)
+		for !stop.Load() {
+			k = k*6364136223846793005 + 1442695040888963407
+			if !stalled {
+				table.LookupStalled(0, k%universe, func() { time.Sleep(stall) })
+				stalled = true
+				continue
+			}
+			table.Lookup(0, k%universe)
+		}
+	}()
+
+	// Workers 1..n: updaters generating garbage.
+	for tid := 1; tid < workers; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			defer flush(s, tid)
+			span := universe / workers
+			lo := uint64(tid * span)
+			for !stop.Load() {
+				for k := lo; k < lo+uint64(span) && !stop.Load(); k++ {
+					if _, err := table.Insert(tid, k); err != nil {
+						time.Sleep(200 * time.Microsecond) // allocator pressure
+					}
+					if k%64 == 63 {
+						runtime.Gosched()
+					}
+				}
+				for k := lo; k < lo+uint64(span) && !stop.Load(); k++ {
+					table.Remove(tid, k)
+					if k%64 == 63 {
+						runtime.Gosched()
+					}
+				}
+			}
+		}(tid)
+	}
+
+	time.Sleep(runFor)
+	stop.Store(true)
+	wg.Wait()
+	if v := ar.Violations(); v != 0 {
+		panic(fmt.Sprintf("%s: %d memory-safety violations", kind, v))
+	}
+	return peak.Load()
+}
+
+func flush(s smr.Scheme, tid int) {
+	s.Flush(tid)
+	if rcu, ok := s.(*smr.RCU); ok {
+		rcu.Offline(tid)
+	}
+}
+
+func main() {
+	fmt.Printf("peak retired-but-unreclaimed memory (R=%d nodes ≈ %d KiB/thread)\n\n", r, r*arena.NodeBytes/1024)
+	fmt.Printf("%-12s %14s %14s %14s\n", "scheme", "no stall", "50ms stall", "150ms stall")
+	for _, kind := range []smr.Kind{smr.KindFFHP, smr.KindHP, smr.KindRCU} {
+		fmt.Printf("%-12s", kind)
+		for _, stall := range []time.Duration{0, 50 * time.Millisecond, 150 * time.Millisecond} {
+			peak := measure(kind, stall)
+			fmt.Printf(" %11.1f KiB", float64(peak)/1024)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nFFHP/HP stay bounded by R; RCU grows with the stall (it cannot reclaim")
+	fmt.Println("while any reader is inside an operation) — the §7.1.2 trade-off.")
+}

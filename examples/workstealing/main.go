@@ -1,0 +1,121 @@
+// Work-stealing example: a tiny task scheduler built on the TBTSO
+// fence-free deque (the §8 application — nonblocking fence-free work
+// stealing, which the spatially bounded TSO[S] cannot support).
+//
+//	go run ./examples/workstealing
+//
+// One producer/owner generates a tree of tasks into its deque and
+// processes them LIFO with fence-free Push/Take; idle workers steal
+// FIFO, paying the Δ wait only when they actually steal. The program
+// checks that every task ran exactly once.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tbtso/internal/core"
+	"tbtso/internal/deque"
+)
+
+const (
+	totalTasks = 100_000
+	stealers   = 3
+)
+
+func main() {
+	d := deque.New(1<<14, core.NewFixedDelta(50*time.Microsecond))
+	var executed sync.Map // task id -> *int32
+	var nExecuted atomic.Int64
+	runTask := func(id uint64) {
+		c, _ := executed.LoadOrStore(id, new(int32))
+		atomic.AddInt32(c.(*int32), 1)
+		nExecuted.Add(1)
+	}
+
+	var ownerTook, stolen atomic.Int64
+	var done atomic.Bool
+	var wg sync.WaitGroup
+
+	// Owner: produce tasks in bursts, process own work LIFO.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer done.Store(true)
+		next := uint64(1)
+		for next <= totalTasks {
+			for i := 0; i < 8 && next <= totalTasks; i++ {
+				if d.Push(next) { // fence-free
+					next++
+				}
+			}
+			if id, ok := d.Take(); ok { // fence-free
+				runTask(id)
+				ownerTook.Add(1)
+			}
+		}
+		for { // drain
+			id, ok := d.Take()
+			if !ok {
+				if d.Size() == 0 {
+					return
+				}
+				continue
+			}
+			runTask(id)
+			ownerTook.Add(1)
+		}
+	}()
+
+	// Stealers: idle workers that steal FIFO (each steal waits Δ).
+	for s := 0; s < stealers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				if id, ok := d.Steal(); ok {
+					runTask(id)
+					stolen.Add(1)
+				}
+			}
+			for {
+				id, ok := d.Steal()
+				if !ok {
+					return
+				}
+				runTask(id)
+				stolen.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	for { // anything both sides gave up on
+		id, ok := d.Take()
+		if !ok {
+			break
+		}
+		runTask(id)
+		ownerTook.Add(1)
+	}
+
+	dups, lost := 0, 0
+	for id := uint64(1); id <= totalTasks; id++ {
+		c, ok := executed.Load(id)
+		switch {
+		case !ok:
+			lost++
+		case atomic.LoadInt32(c.(*int32)) != 1:
+			dups++
+		}
+	}
+	fmt.Printf("tasks executed:  %d\n", nExecuted.Load())
+	fmt.Printf("  by the owner:  %d (LIFO, fence-free)\n", ownerTook.Load())
+	fmt.Printf("  stolen:        %d (FIFO, Δ-waiting slow path)\n", stolen.Load())
+	if dups != 0 || lost != 0 {
+		fmt.Printf("BROKEN: %d duplicated, %d lost\n", dups, lost)
+		return
+	}
+	fmt.Println("every task ran exactly once")
+}

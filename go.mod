@@ -1,0 +1,3 @@
+module tbtso
+
+go 1.22

@@ -1,0 +1,308 @@
+// Package arena provides an unmanaged, fixed-capacity node pool with
+// generation-checked handles. It restores, inside a garbage-collected
+// language, the property that makes safe memory reclamation meaningful:
+// a freed node's slot is genuinely reused, so accessing it after free is
+// an observable error rather than something the GC papers over.
+//
+// Nodes are addressed by Handle — a packed (generation, index) pair —
+// never by Go pointer. Freeing a node bumps its slot's generation and
+// poisons its key, so any later access through a stale handle either
+// fails the generation check or reads the poison value; both are
+// recorded as violations. The concurrent list (internal/list) packs
+// handles together with a mark bit into a single word, mirroring the
+// paper's <next,mark> MarkPtr.
+package arena
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Handle identifies a node: bits [0,32) hold index+1, bits [32,56) hold
+// the slot's generation at allocation time. The zero Handle is the null
+// pointer. Handles fit in 56 bits so a mark bit can be packed alongside
+// (see MarkWord).
+type Handle uint64
+
+const (
+	idxBits = 32
+	idxMask = (1 << idxBits) - 1
+	genBits = 24
+	genMask = (1 << genBits) - 1
+
+	// Poison is written to a node's key on free.
+	Poison uint64 = 0xDEADBEEFDEADBEEF
+)
+
+// Nil is the null handle.
+const Nil Handle = 0
+
+func makeHandle(idx int, gen uint32) Handle {
+	return Handle(uint64(idx+1) | (uint64(gen)&genMask)<<idxBits)
+}
+
+func (h Handle) index() int  { return int(uint64(h)&idxMask) - 1 }
+func (h Handle) gen() uint32 { return uint32(uint64(h) >> idxBits & genMask) }
+func (h Handle) IsNil() bool { return h == Nil }
+func (h Handle) String() string {
+	if h.IsNil() {
+		return "nil"
+	}
+	return fmt.Sprintf("#%d@g%d", h.index(), h.gen())
+}
+
+// MarkWord packs a Handle and a mark bit into one uint64 for atomic
+// compare-and-swap — the paper's MarkPtr (Figure 1, mark stored in the
+// LSB of next).
+type MarkWord uint64
+
+// Pack builds a MarkWord from a handle and mark.
+func Pack(h Handle, marked bool) MarkWord {
+	w := MarkWord(h) << 1
+	if marked {
+		w |= 1
+	}
+	return w
+}
+
+// Unpack splits a MarkWord.
+func (w MarkWord) Unpack() (Handle, bool) {
+	return Handle(w >> 1), w&1 == 1
+}
+
+// Handle returns the handle part.
+func (w MarkWord) Handle() Handle { return Handle(w >> 1) }
+
+// Marked returns the mark bit.
+func (w MarkWord) Marked() bool { return w&1 == 1 }
+
+// node is one slot: all fields are atomics because a (correctly
+// protected) reader may load them while the owner publishes, and
+// because stale readers in *buggy* schemes must fault detectably, not
+// race undefined-behaviourally.
+type node struct {
+	gen  atomic.Uint32
+	live atomic.Bool
+	key  atomic.Uint64
+	next atomic.Uint64 // a MarkWord
+	_    [fencePad]byte
+}
+
+// fencePad pads node to a full cache line (4+4+8+8 = 24 bytes header,
+// pad to 64) to avoid false sharing between adjacent nodes. The paper
+// equalizes node sizes across SMR schemes for the same reason.
+const fencePad = 40
+
+// Violation describes a detected misuse of freed memory.
+type Violation struct {
+	Kind   string // "gen-mismatch", "dead-read", "double-free", "wild-free"
+	Handle Handle
+}
+
+// Arena is the pool. Alloc/Free are safe for concurrent use; per-thread
+// caches keep the fast path lock-free.
+type Arena struct {
+	nodes []node
+
+	mu     sync.Mutex
+	global []Handle // free handles not in any thread cache
+	caches []cache  // per-thread free caches
+
+	violations atomic.Uint64
+	firstViol  atomic.Uint64 // packed first violation handle (diagnostic)
+
+	allocs atomic.Uint64
+	frees  atomic.Uint64
+}
+
+const cacheBatch = 32
+
+type cache struct {
+	free []Handle
+	_    [40]byte
+}
+
+// New creates an arena of the given capacity with per-thread caches for
+// `threads` workers. Capacity is a hard bound; size it to
+// universe + threads×R + slack, as §4.2.1 prescribes.
+func New(capacity, threads int) *Arena {
+	if capacity >= idxMask {
+		panic("arena: capacity too large for handle encoding")
+	}
+	a := &Arena{
+		nodes:  make([]node, capacity),
+		global: make([]Handle, 0, capacity),
+		caches: make([]cache, threads),
+	}
+	for i := capacity - 1; i >= 0; i-- {
+		a.global = append(a.global, makeHandle(i, 0))
+	}
+	return a
+}
+
+// Capacity returns the total number of slots.
+func (a *Arena) Capacity() int { return len(a.nodes) }
+
+// Alloc returns a fresh node handle for thread tid, or Nil if the pool
+// is exhausted. The node's key and next are NOT reset; the caller
+// initializes them before publishing.
+func (a *Arena) Alloc(tid int) Handle {
+	c := &a.caches[tid]
+	if len(c.free) == 0 {
+		a.mu.Lock()
+		n := cacheBatch
+		if n > len(a.global) {
+			n = len(a.global)
+		}
+		c.free = append(c.free, a.global[len(a.global)-n:]...)
+		a.global = a.global[:len(a.global)-n]
+		a.mu.Unlock()
+		if len(c.free) == 0 {
+			return Nil
+		}
+	}
+	h := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	n := &a.nodes[h.index()]
+	n.live.Store(true)
+	a.allocs.Add(1)
+	return h
+}
+
+// Free returns a node to the pool: the slot's generation is bumped (so
+// every outstanding handle to it goes stale) and the key is poisoned.
+// Double frees and wild handles are recorded as violations.
+func (a *Arena) Free(tid int, h Handle) {
+	idx := h.index()
+	if idx < 0 || idx >= len(a.nodes) {
+		a.recordViolation(h)
+		return
+	}
+	n := &a.nodes[idx]
+	if n.gen.Load() != h.gen() || !n.live.Load() {
+		a.recordViolation(h)
+		return
+	}
+	n.live.Store(false)
+	n.gen.Add(1)
+	n.key.Store(Poison)
+	a.frees.Add(1)
+	c := &a.caches[tid]
+	newGen := n.gen.Load()
+	c.free = append(c.free, makeHandle(idx, newGen))
+	if len(c.free) > 2*cacheBatch {
+		a.mu.Lock()
+		spill := c.free[:cacheBatch]
+		a.global = append(a.global, spill...)
+		c.free = append(c.free[:0], c.free[cacheBatch:]...)
+		a.mu.Unlock()
+	}
+}
+
+// FreeShared frees a node without going through any per-thread cache,
+// pushing straight to the global pool under the lock. Background
+// reclaimer goroutines (which have no tid) use this.
+func (a *Arena) FreeShared(h Handle) {
+	idx := h.index()
+	if idx < 0 || idx >= len(a.nodes) {
+		a.recordViolation(h)
+		return
+	}
+	n := &a.nodes[idx]
+	if n.gen.Load() != h.gen() || !n.live.Load() {
+		a.recordViolation(h)
+		return
+	}
+	n.live.Store(false)
+	n.gen.Add(1)
+	n.key.Store(Poison)
+	a.frees.Add(1)
+	a.mu.Lock()
+	a.global = append(a.global, makeHandle(idx, n.gen.Load()))
+	a.mu.Unlock()
+}
+
+func (a *Arena) recordViolation(h Handle) {
+	if a.violations.Add(1) == 1 {
+		a.firstViol.Store(uint64(h))
+	}
+}
+
+// check validates h's generation; a mismatch means the caller holds a
+// stale handle to a freed (possibly reallocated) node.
+func (a *Arena) check(h Handle) *node {
+	idx := h.index()
+	if idx < 0 || idx >= len(a.nodes) {
+		a.recordViolation(h)
+		return nil
+	}
+	n := &a.nodes[idx]
+	if n.gen.Load() != h.gen() {
+		a.recordViolation(h)
+		return nil
+	}
+	return n
+}
+
+// Key reads the node's key. A read through a stale handle records a
+// violation and returns Poison.
+func (a *Arena) Key(h Handle) uint64 {
+	n := a.check(h)
+	if n == nil {
+		return Poison
+	}
+	return n.key.Load()
+}
+
+// SetKey writes the node's key (before publication).
+func (a *Arena) SetKey(h Handle, k uint64) {
+	if n := a.check(h); n != nil {
+		n.key.Store(k)
+	}
+}
+
+// Next loads the node's <next,mark> word.
+func (a *Arena) Next(h Handle) MarkWord {
+	n := a.check(h)
+	if n == nil {
+		return 0
+	}
+	return MarkWord(n.next.Load())
+}
+
+// SetNext stores the node's <next,mark> word (before publication).
+func (a *Arena) SetNext(h Handle, w MarkWord) {
+	if n := a.check(h); n != nil {
+		n.next.Store(uint64(w))
+	}
+}
+
+// CASNext atomically swings the node's <next,mark> word.
+func (a *Arena) CASNext(h Handle, old, new MarkWord) bool {
+	n := a.check(h)
+	if n == nil {
+		return false
+	}
+	return n.next.CompareAndSwap(uint64(old), uint64(new))
+}
+
+// Violations reports how many stale accesses, double frees, or wild
+// frees were detected.
+func (a *Arena) Violations() uint64 { return a.violations.Load() }
+
+// FirstViolation returns the handle involved in the first violation.
+func (a *Arena) FirstViolation() Handle { return Handle(a.firstViol.Load()) }
+
+// Live reports allocs - frees: the number of live nodes.
+func (a *Arena) Live() int { return int(a.allocs.Load()) - int(a.frees.Load()) }
+
+// Allocs and Frees report lifetime counts.
+func (a *Arena) Allocs() uint64 { return a.allocs.Load() }
+
+// Frees reports the number of Free calls that succeeded.
+func (a *Arena) Frees() uint64 { return a.frees.Load() }
+
+// NodeBytes is the in-memory size of one node, used for the memory
+// consumption figures.
+const NodeBytes = 64

@@ -1,0 +1,149 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocFreeReuse(t *testing.T) {
+	a := New(4, 1)
+	h1 := a.Alloc(0)
+	h2 := a.Alloc(0)
+	if h1.IsNil() || h2.IsNil() || h1 == h2 {
+		t.Fatalf("bad handles %v %v", h1, h2)
+	}
+	a.SetKey(h1, 42)
+	if a.Key(h1) != 42 {
+		t.Fatalf("key = %d", a.Key(h1))
+	}
+	a.Free(0, h1)
+	h3 := a.Alloc(0)
+	if h3.index() != h1.index() {
+		t.Fatalf("expected slot reuse: %v vs %v", h3, h1)
+	}
+	if h3.gen() == h1.gen() {
+		t.Fatal("generation must change on reuse")
+	}
+	if a.Violations() != 0 {
+		t.Fatalf("violations = %d", a.Violations())
+	}
+}
+
+func TestStaleHandleDetected(t *testing.T) {
+	a := New(4, 1)
+	h := a.Alloc(0)
+	a.SetKey(h, 7)
+	a.Free(0, h)
+	if got := a.Key(h); got != Poison {
+		t.Fatalf("stale read returned %d, want Poison", got)
+	}
+	if a.Violations() == 0 {
+		t.Fatal("stale read not recorded")
+	}
+	if a.FirstViolation() != h {
+		t.Fatalf("first violation %v, want %v", a.FirstViolation(), h)
+	}
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	a := New(4, 1)
+	h := a.Alloc(0)
+	a.Free(0, h)
+	a.Free(0, h)
+	if a.Violations() != 1 {
+		t.Fatalf("violations = %d, want 1", a.Violations())
+	}
+	if a.Frees() != 1 {
+		t.Fatalf("frees = %d, want 1", a.Frees())
+	}
+}
+
+func TestNilAndWildHandles(t *testing.T) {
+	a := New(2, 1)
+	if !Nil.IsNil() {
+		t.Fatal("Nil not nil")
+	}
+	a.Free(0, Handle(999999)) // wild
+	if a.Violations() != 1 {
+		t.Fatalf("wild free not detected")
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	a := New(3, 1)
+	for i := 0; i < 3; i++ {
+		if a.Alloc(0).IsNil() {
+			t.Fatalf("alloc %d failed early", i)
+		}
+	}
+	if !a.Alloc(0).IsNil() {
+		t.Fatal("expected exhaustion")
+	}
+	if a.Live() != 3 {
+		t.Fatalf("Live = %d", a.Live())
+	}
+}
+
+func TestMarkWordPacking(t *testing.T) {
+	f := func(idx uint32, gen uint32, marked bool) bool {
+		h := makeHandle(int(idx%(1<<20)), gen)
+		w := Pack(h, marked)
+		gh, gm := w.Unpack()
+		return gh == h && gm == marked && w.Handle() == h && w.Marked() == marked
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	const threads = 8
+	const iters = 2000
+	a := New(threads*8+16, threads)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			var held []Handle
+			for i := 0; i < iters; i++ {
+				if h := a.Alloc(tid); !h.IsNil() {
+					a.SetKey(h, uint64(i))
+					held = append(held, h)
+				}
+				if len(held) > 4 {
+					a.Free(tid, held[0])
+					held = held[1:]
+				}
+			}
+			for _, h := range held {
+				a.Free(tid, h)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if a.Violations() != 0 {
+		t.Fatalf("violations = %d", a.Violations())
+	}
+	if a.Live() != 0 {
+		t.Fatalf("leaked %d nodes", a.Live())
+	}
+}
+
+func TestCASNext(t *testing.T) {
+	a := New(2, 1)
+	h := a.Alloc(0)
+	n := a.Alloc(0)
+	a.SetNext(h, Pack(n, false))
+	if !a.CASNext(h, Pack(n, false), Pack(n, true)) {
+		t.Fatal("CAS should succeed")
+	}
+	if a.CASNext(h, Pack(n, false), Pack(Nil, false)) {
+		t.Fatal("CAS should fail on changed word")
+	}
+	w := a.Next(h)
+	if w.Handle() != n || !w.Marked() {
+		t.Fatalf("next = %v marked=%v", w.Handle(), w.Marked())
+	}
+}

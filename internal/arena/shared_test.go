@@ -1,0 +1,109 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFreeShared(t *testing.T) {
+	a := New(4, 1)
+	h := a.Alloc(0)
+	a.FreeShared(h)
+	if a.Frees() != 1 || a.Live() != 0 {
+		t.Fatalf("frees=%d live=%d", a.Frees(), a.Live())
+	}
+	// Slot must be reusable.
+	h2 := a.Alloc(0)
+	deadline := 0
+	for h2.IsNil() && deadline < 3 {
+		h2 = a.Alloc(0)
+		deadline++
+	}
+	if h2.IsNil() {
+		t.Fatal("slot not returned to the pool")
+	}
+	// Double FreeShared is a violation.
+	a.FreeShared(h)
+	if a.Violations() == 0 {
+		t.Fatal("double FreeShared not detected")
+	}
+}
+
+func TestFreeSharedConcurrentWithAllocs(t *testing.T) {
+	// A background "reclaimer" frees via FreeShared while workers
+	// allocate/free through their caches.
+	const workers = 4
+	a := New(1024, workers)
+	toFree := make(chan Handle, 256)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // reclaimer
+		defer wg.Done()
+		for h := range toFree {
+			a.FreeShared(h)
+		}
+	}()
+	var ww sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for i := 0; i < 3000; i++ {
+				h := a.Alloc(w)
+				if h.IsNil() {
+					continue
+				}
+				a.SetKey(h, uint64(i))
+				if i%2 == 0 {
+					a.Free(w, h)
+				} else {
+					toFree <- h
+				}
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(toFree)
+	wg.Wait()
+	if v := a.Violations(); v != 0 {
+		t.Fatalf("violations: %d", v)
+	}
+	if a.Live() != 0 {
+		t.Fatalf("leaked %d", a.Live())
+	}
+}
+
+func TestHandleStringAndCapacity(t *testing.T) {
+	a := New(8, 1)
+	if a.Capacity() != 8 {
+		t.Fatalf("capacity = %d", a.Capacity())
+	}
+	h := a.Alloc(0)
+	if h.String() == "" || Nil.String() != "nil" {
+		t.Fatal("handle rendering broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized arena did not panic")
+		}
+	}()
+	New(1<<33, 1)
+}
+
+func TestGenerationWraparoundSafety(t *testing.T) {
+	// Repeated free/alloc of one slot must keep producing distinct
+	// handles within the generation space.
+	a := New(1, 1)
+	prev := Handle(0)
+	for i := 0; i < 1000; i++ {
+		h := a.Alloc(0)
+		if h == prev {
+			t.Fatalf("generation reuse after %d cycles", i)
+		}
+		prev = h
+		a.Free(0, h)
+	}
+	if a.Violations() != 0 {
+		t.Fatalf("violations: %d", a.Violations())
+	}
+}

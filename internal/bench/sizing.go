@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tbtso/internal/arena"
+	"tbtso/internal/list"
+	"tbtso/internal/report"
+	"tbtso/internal/smr"
+	"tbtso/internal/workload"
+)
+
+// SizingResult captures the §4.2.1 measurements.
+type SizingResult struct {
+	RetireRatePerMsPerThread float64
+	SuggestedR               int // rate × Δ × 2, the paper's sizing rule
+	AvgFreedPerReclaim       float64
+	ReclaimYieldBound        float64 // (1−1/c)·R − H with c = R/Δ-rate
+}
+
+// Sizing measures the retirement rate of an update-heavy list workload
+// and derives the R the paper's rule suggests (§4.2.1: a maximal rate
+// of 1300 nodes/ms/thread with Δ = 10 ms gives R = 26000), then
+// verifies reclaim yield against the analytical bound.
+func Sizing(o Options) (*report.Table, SizingResult) {
+	o = o.Defaults()
+	threads := o.Threads
+	universe := uint64(512)
+	h := threads * list.NumSlots
+	r := harnessR
+	capacity := int(universe) + threads*(r+16) + 1024
+	ar := arena.New(capacity, threads+1)
+	scheme := smr.NewFFHP(smr.Config{
+		Threads: threads, K: list.NumSlots, R: r, Arena: ar, Delta: o.DeltaHW,
+	})
+	defer scheme.Close()
+	l := list.New(ar, scheme, 0)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			defer scheme.Flush(tid)
+			lo, hi := workload.Partition(universe, tid, threads)
+			for !stop.Load() {
+				for k := lo; k < hi && !stop.Load(); k++ {
+					scheme.OpBegin(tid, 0)
+					if _, err := l.Insert(tid, k); err != nil {
+						scheme.OpEnd(tid)
+						return
+					}
+					scheme.OpEnd(tid)
+				}
+				for k := lo; k < hi && !stop.Load(); k++ {
+					scheme.OpBegin(tid, 0)
+					l.Delete(tid, k)
+					scheme.OpEnd(tid)
+				}
+			}
+		}(tid)
+	}
+	time.Sleep(o.Duration)
+	stop.Store(true)
+	wg.Wait()
+
+	retired := float64(ar.Frees()) + float64(scheme.Unreclaimed())
+	ms := o.Duration.Seconds() * 1e3
+	rate := retired / ms / float64(threads)
+
+	var scans, frees uint64
+	for tid := 0; tid < threads; tid++ {
+		s, _, f := scheme.Scans(tid)
+		scans += s
+		frees += f
+	}
+	avgFreed := 0.0
+	if scans > 0 {
+		avgFreed = float64(frees) / float64(scans)
+	}
+
+	deltaMs := o.DeltaHW.Seconds() * 1e3
+	suggested := int(rate*deltaMs*2 + 0.5)
+	c := float64(r) / (rate*deltaMs + 1)
+	bound := 0.0
+	if c > 1 {
+		bound = (1-1/c)*float64(r) - float64(h)
+	}
+
+	res := SizingResult{
+		RetireRatePerMsPerThread: rate,
+		SuggestedR:               suggested,
+		AvgFreedPerReclaim:       avgFreed,
+		ReclaimYieldBound:        bound,
+	}
+	t := report.NewTable(
+		fmt.Sprintf("§4.2.1 sizing — update-heavy list churn (%d threads, Δ=%v, R=%d)", threads, o.DeltaHW, r),
+		"metric", "value")
+	t.AddRow("retire rate (nodes/ms/thread)", fmt.Sprintf("%.1f", rate))
+	t.AddRow("suggested R = rate×Δ×2", suggested)
+	t.AddRow("avg nodes freed per reclaim()", fmt.Sprintf("%.1f", avgFreed))
+	t.AddRow("analytical yield bound (1−1/c)R−H", fmt.Sprintf("%.1f", bound))
+	t.AddNote("paper: 1300 nodes/ms/thread on 80 hw threads; R = 1300×10×2 = 26000 (≈2 MB) guarantees reclaim frees ≥ R/2")
+	return t, res
+}

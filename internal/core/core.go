@@ -1,0 +1,130 @@
+// Package core implements the paper's primary contribution as reusable
+// native primitives: the notion of a *visibility bound* — "by when is
+// every earlier store globally visible?" — and the asymmetric TBTSO
+// flag principle (§3) built on it.
+//
+// Two bounds are provided, matching the paper's two deployment models:
+//
+//   - FixedDelta: the TBTSO[Δ] hardware model (§2, §6.1). A store
+//     performed at time t0 is visible by t0+Δ, so the slow path simply
+//     waits out the remainder of Δ.
+//   - TickBoard: the x86 adaptation with OS help (§6.2). The slow path
+//     instead waits until every entry of the per-core time array A is
+//     newer than t0.
+//
+// Both expose the same Cutoff/Eligible/Wait interface, which is exactly
+// what lets FFHP and FFBL switch between the TBTSO[0.5 ms] and adapted
+// [4 ms] variants the evaluation compares.
+//
+// The machine-level counterpart of this package lives in
+// internal/machalg, where the same principle runs on the abstract
+// machine of internal/tso.
+package core
+
+import (
+	"time"
+
+	"tbtso/internal/ostick"
+	"tbtso/internal/vclock"
+)
+
+// Bound answers visibility questions against the global clock
+// (vclock.Now). Implementations must be safe for concurrent use.
+type Bound interface {
+	// Name identifies the bound for reports (e.g. "Δ=0.5ms").
+	Name() string
+	// Cutoff returns a time c such that every store performed by a
+	// thread at or before c is globally visible now. Cutoff is
+	// monotonically nondecreasing across calls.
+	Cutoff() int64
+	// Eligible reports whether a store performed at t0 is certainly
+	// visible (t0 <= Cutoff()). A convenience wrapper.
+	Eligible(t0 int64) bool
+	// Wait blocks until every store performed at or before t0 is
+	// globally visible. Slow-path only.
+	Wait(t0 int64)
+}
+
+// FixedDelta is the TBTSO[Δ] bound: stores are visible Δ after issue.
+type FixedDelta struct {
+	delta time.Duration
+	name  string
+}
+
+// NewFixedDelta returns a Bound for TBTSO[Δ].
+func NewFixedDelta(delta time.Duration) *FixedDelta {
+	return &FixedDelta{delta: delta, name: "Δ=" + delta.String()}
+}
+
+// Name implements Bound.
+func (d *FixedDelta) Name() string { return d.name }
+
+// Delta returns Δ.
+func (d *FixedDelta) Delta() time.Duration { return d.delta }
+
+// Cutoff implements Bound: now - Δ.
+func (d *FixedDelta) Cutoff() int64 { return vclock.Now() - int64(d.delta) }
+
+// Eligible implements Bound.
+func (d *FixedDelta) Eligible(t0 int64) bool { return t0 <= d.Cutoff() }
+
+// Wait implements Bound by sleeping/spinning out the remainder of Δ.
+func (d *FixedDelta) Wait(t0 int64) {
+	for {
+		remain := t0 + int64(d.delta) - vclock.Now()
+		if remain <= 0 {
+			return
+		}
+		if remain > int64(50*time.Microsecond) {
+			time.Sleep(time.Duration(remain))
+		}
+		// Short remainders spin on the clock.
+	}
+}
+
+// TickBoard is the §6.2 adapted bound: visibility is established by
+// observing that every per-core timer-interrupt timestamp passed t0.
+type TickBoard struct {
+	board *ostick.Board
+	name  string
+}
+
+// NewTickBoard wraps an ostick.Board as a Bound.
+func NewTickBoard(b *ostick.Board) *TickBoard {
+	return &TickBoard{board: b, name: "A-board"}
+}
+
+// Name implements Bound.
+func (t *TickBoard) Name() string { return t.name }
+
+// Board returns the underlying time array.
+func (t *TickBoard) Board() *ostick.Board { return t.board }
+
+// Cutoff implements Bound: the minimum entry of A. Scanning A is the
+// "extra work in the slow path" §6.2 describes.
+func (t *TickBoard) Cutoff() int64 { return t.board.MinTime() }
+
+// Eligible implements Bound.
+func (t *TickBoard) Eligible(t0 int64) bool { return t.board.AllPast(t0) }
+
+// Wait implements Bound.
+func (t *TickBoard) Wait(t0 int64) { t.board.WaitAllPast(t0) }
+
+// Immediate is a degenerate bound for environments whose stores are
+// immediately visible (Go's sequentially consistent atomics give this
+// natively). It exists for tests and as the "unsound on real TSO"
+// configuration knob: using it where a real bound is required is
+// exactly the bug the paper's Δ prevents.
+type Immediate struct{}
+
+// Name implements Bound.
+func (Immediate) Name() string { return "immediate" }
+
+// Cutoff implements Bound.
+func (Immediate) Cutoff() int64 { return vclock.Now() }
+
+// Eligible implements Bound.
+func (Immediate) Eligible(int64) bool { return true }
+
+// Wait implements Bound.
+func (Immediate) Wait(int64) {}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"tbtso/internal/ostick"
+	"tbtso/internal/vclock"
+)
+
+func TestFixedDeltaCutoffLagsByDelta(t *testing.T) {
+	d := NewFixedDelta(10 * time.Millisecond)
+	now := vclock.Now()
+	c := d.Cutoff()
+	if c > now-int64(9*time.Millisecond) {
+		t.Fatalf("cutoff %d too close to now %d", c, now)
+	}
+	if d.Eligible(now) {
+		t.Fatal("a store from right now cannot be eligible")
+	}
+	if !d.Eligible(now - int64(11*time.Millisecond)) {
+		t.Fatal("a store older than Δ must be eligible")
+	}
+}
+
+func TestFixedDeltaWait(t *testing.T) {
+	d := NewFixedDelta(3 * time.Millisecond)
+	t0 := vclock.Now()
+	start := time.Now()
+	d.Wait(t0)
+	if e := time.Since(start); e < 2*time.Millisecond {
+		t.Fatalf("Wait returned after %v, want ≈3 ms", e)
+	}
+	if !d.Eligible(t0) {
+		t.Fatal("not eligible after Wait")
+	}
+	// Waiting for an old timestamp returns immediately.
+	start = time.Now()
+	d.Wait(vclock.Now() - int64(time.Second))
+	if e := time.Since(start); e > time.Millisecond {
+		t.Fatalf("Wait on old timestamp took %v", e)
+	}
+}
+
+func TestCutoffMonotone(t *testing.T) {
+	d := NewFixedDelta(time.Millisecond)
+	prev := d.Cutoff()
+	for i := 0; i < 1000; i++ {
+		c := d.Cutoff()
+		if c < prev {
+			t.Fatal("cutoff went backwards")
+		}
+		prev = c
+	}
+}
+
+func TestTickBoardBound(t *testing.T) {
+	b := ostick.NewBoard(3, time.Millisecond)
+	defer b.Stop()
+	tb := NewTickBoard(b)
+	t0 := vclock.Now()
+	if tb.Eligible(t0) {
+		t.Fatal("eligible before any board tick")
+	}
+	tb.Wait(t0)
+	if !tb.Eligible(t0) {
+		t.Fatal("not eligible after Wait")
+	}
+	if tb.Cutoff() <= t0 {
+		t.Fatal("cutoff did not pass t0 after Wait")
+	}
+	if tb.Board() != b {
+		t.Fatal("Board accessor broken")
+	}
+}
+
+func TestImmediate(t *testing.T) {
+	var im Immediate
+	if !im.Eligible(vclock.Now()) {
+		t.Fatal("Immediate must always be eligible")
+	}
+	im.Wait(vclock.Now()) // must not block
+	if im.Name() == "" || NewFixedDelta(time.Second).Name() == "" {
+		t.Fatal("bounds must have names")
+	}
+}
+
+func TestAsymmetricFlagPrinciple(t *testing.T) {
+	// The §3 guarantee: for concurrent fast and slow participants, at
+	// least one observes the other. Run many racing rounds.
+	for round := 0; round < 200; round++ {
+		f := NewAsymmetricFlag(NewFixedDelta(50 * time.Microsecond))
+		var fastSaw, slowSaw uint64
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			f.FastRaise(1)
+			fastSaw = f.FastLook()
+		}()
+		go func() {
+			defer wg.Done()
+			slowSaw = f.SlowRaiseAndLook(1)
+		}()
+		wg.Wait()
+		if fastSaw == 0 && slowSaw == 0 {
+			t.Fatalf("round %d: both sides missed each other", round)
+		}
+		f.FastLower()
+		f.SlowLower()
+	}
+}

@@ -1,0 +1,39 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"tbtso/internal/core"
+	"tbtso/internal/vclock"
+)
+
+// A visibility bound answers "is a store from time t0 certainly global
+// by now?" — the question every TBTSO slow path asks.
+func ExampleFixedDelta() {
+	bound := core.NewFixedDelta(2 * time.Millisecond)
+	t0 := vclock.Now()
+	fmt.Println("eligible immediately:", bound.Eligible(t0))
+	bound.Wait(t0) // the slow path waits out the remainder of Δ
+	fmt.Println("eligible after Wait:", bound.Eligible(t0))
+	// Output:
+	// eligible immediately: false
+	// eligible after Wait: true
+}
+
+// The asymmetric flag principle (§3): the fast side raises with no
+// fence; the slow side raises, fences, waits out the bound, then looks.
+// At least one side observes the other.
+func ExampleAsymmetricFlag() {
+	f := core.NewAsymmetricFlag(core.NewFixedDelta(time.Millisecond))
+
+	// Fast side (e.g. a reader protecting a node):
+	f.FastRaise(1)
+	sawSlow := f.FastLook()
+
+	// Slow side (e.g. a reclaimer), possibly concurrent:
+	sawFast := f.SlowRaiseAndLook(1)
+
+	fmt.Println("at least one side saw the other:", sawSlow != 0 || sawFast != 0)
+	// Output: at least one side saw the other: true
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"tbtso/internal/fence"
+	"tbtso/internal/vclock"
+)
+
+// AsymmetricFlag is the §3 TBTSO flag principle as a native primitive:
+// a fast side that raises its flag with no fence, and a slow side that
+// raises its flag, fences, waits out the visibility bound, and then
+// looks. The guarantee: at least one side observes the other.
+//
+// This type is the building block both FFHP and FFBL instantiate
+// implicitly; it is exported so applications can build their own
+// asymmetric protocols (e.g. asymmetric membarrier-style schemes).
+type AsymmetricFlag struct {
+	fast  atomic.Uint64
+	_     [fence.CacheLine - 8]byte
+	slow  atomic.Uint64
+	_     [fence.CacheLine - 8]byte
+	bound Bound
+	line  fence.Line
+}
+
+// NewAsymmetricFlag creates the flag pair with the given bound.
+func NewAsymmetricFlag(b Bound) *AsymmetricFlag {
+	return &AsymmetricFlag{bound: b}
+}
+
+// FastRaise raises the fast side's flag. No fence is issued: on TBTSO
+// the store becomes visible within the bound.
+func (f *AsymmetricFlag) FastRaise(v uint64) {
+	f.fast.Store(v)
+}
+
+// FastLook reads the slow side's flag. Per the principle this may be
+// done immediately after FastRaise with no fence in between.
+func (f *AsymmetricFlag) FastLook() uint64 {
+	return f.slow.Load()
+}
+
+// FastLower clears the fast flag.
+func (f *AsymmetricFlag) FastLower() { f.fast.Store(0) }
+
+// SlowRaiseAndLook raises the slow side's flag, fences, waits out the
+// visibility bound, and returns the fast side's flag. If the returned
+// value is zero, the fast side had not raised its flag before our raise
+// became visible — and therefore the fast side will observe ours.
+func (f *AsymmetricFlag) SlowRaiseAndLook(v uint64) uint64 {
+	f.slow.Store(v)
+	f.line.Full()
+	f.bound.Wait(vclock.Now())
+	return f.fast.Load()
+}
+
+// SlowLower clears the slow flag.
+func (f *AsymmetricFlag) SlowLower() { f.slow.Store(0) }

@@ -1,0 +1,112 @@
+// Package deque implements a fence-free work-stealing deque on the
+// TBTSO principle — the application §8 of the paper points at when
+// contrasting TBTSO with the spatially bounded TSO[S]: "fence-free work
+// stealing algorithms based on TSO[S] require either relaxed semantics
+// or blocking. In contrast, TBTSO's temporal reordering bound
+// facilitates nonblocking synchronization."
+//
+// The owner's Push/Take are the Chase-Lev fast paths with the take-side
+// fence removed; the thief's Steal — the infrequent slow path — reads
+// top, waits out the visibility bound, and only then reads bottom. The
+// machine-checked soundness argument lives in internal/machalg
+// (deque.go / deque_test.go): without the wait the classic TSO
+// double-take reappears; with it, at most one of {owner, thief} obtains
+// each item. In native Go the atomics are sequentially consistent, so
+// the wait is belt-and-braces; the type exists to exercise the protocol
+// and its costs end to end.
+package deque
+
+import (
+	"sync/atomic"
+
+	"tbtso/internal/core"
+	"tbtso/internal/fence"
+	"tbtso/internal/vclock"
+)
+
+// Deque is a single-owner, multi-thief bounded work-stealing deque of
+// uint64 values. Owner methods (Push, Take) must be called from one
+// goroutine; Steal may be called from any.
+type Deque struct {
+	top    atomic.Uint64
+	_      [fence.CacheLine - 8]byte
+	bottom atomic.Uint64
+	_      [fence.CacheLine - 8]byte
+	items  []atomic.Uint64
+	mask   uint64
+	bound  core.Bound
+}
+
+// New creates a deque with the given power-of-two capacity and
+// visibility bound for steals.
+func New(capacity int, bound core.Bound) *Deque {
+	if capacity <= 0 || capacity&(capacity-1) != 0 {
+		panic("deque: capacity must be a positive power of two")
+	}
+	return &Deque{
+		items: make([]atomic.Uint64, capacity),
+		mask:  uint64(capacity - 1),
+		bound: bound,
+	}
+}
+
+// Push adds v at the bottom; it reports false when full. Owner only;
+// no fence, no atomic read-modify-write.
+func (d *Deque) Push(v uint64) bool {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if b-t >= uint64(len(d.items)) {
+		return false
+	}
+	d.items[b&d.mask].Store(v)
+	d.bottom.Store(b + 1)
+	return true
+}
+
+// Take removes the most recently pushed value. Owner only; the common
+// case is fence-free (no read-modify-write, no explicit barrier).
+func (d *Deque) Take() (uint64, bool) {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	t := d.top.Load()
+	// no fence between the store above and the load — the TBTSO fast path
+	if b != t && b-t < uint64(len(d.items)) {
+		return d.items[b&d.mask].Load(), true
+	}
+	if b == t {
+		won := d.top.CompareAndSwap(t, t+1)
+		d.bottom.Store(t + 1)
+		if won {
+			return d.items[b&d.mask].Load(), true
+		}
+		return 0, false
+	}
+	d.bottom.Store(t)
+	return 0, false
+}
+
+// Steal removes the oldest value (any goroutine). The slow path: read
+// top, wait out the visibility bound so every owner store older than
+// the top read is globally visible, then read bottom and race the CAS.
+func (d *Deque) Steal() (uint64, bool) {
+	t := d.top.Load()
+	d.bound.Wait(vclock.Now())
+	b := d.bottom.Load()
+	if b-t == 0 || b-t >= 1<<62 {
+		return 0, false
+	}
+	v := d.items[t&d.mask].Load()
+	if d.top.CompareAndSwap(t, t+1) {
+		return v, true
+	}
+	return 0, false
+}
+
+// Size is an instantaneous (racy) estimate of the number of items.
+func (d *Deque) Size() int {
+	b, t := d.bottom.Load(), d.top.Load()
+	if b-t >= 1<<62 {
+		return 0
+	}
+	return int(b - t)
+}

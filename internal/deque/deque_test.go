@@ -1,0 +1,181 @@
+package deque
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tbtso/internal/core"
+)
+
+func TestSequentialLIFO(t *testing.T) {
+	d := New(8, core.Immediate{})
+	for v := uint64(1); v <= 5; v++ {
+		if !d.Push(v) {
+			t.Fatalf("push %d failed", v)
+		}
+	}
+	if d.Size() != 5 {
+		t.Fatalf("size = %d", d.Size())
+	}
+	for want := uint64(5); want >= 1; want-- {
+		v, ok := d.Take()
+		if !ok || v != want {
+			t.Fatalf("take = %d,%v; want %d", v, ok, want)
+		}
+	}
+	if _, ok := d.Take(); ok {
+		t.Fatal("take from empty succeeded")
+	}
+	if _, ok := d.Steal(); ok {
+		t.Fatal("steal from empty succeeded")
+	}
+}
+
+func TestFullness(t *testing.T) {
+	d := New(4, core.Immediate{})
+	for v := uint64(1); v <= 4; v++ {
+		if !d.Push(v) {
+			t.Fatal("push failed early")
+		}
+	}
+	if d.Push(99) {
+		t.Fatal("push to full deque succeeded")
+	}
+	d.Take()
+	if !d.Push(99) {
+		t.Fatal("push after take failed")
+	}
+}
+
+func TestStealFIFO(t *testing.T) {
+	d := New(8, core.Immediate{})
+	for v := uint64(1); v <= 4; v++ {
+		d.Push(v)
+	}
+	for want := uint64(1); want <= 4; want++ {
+		v, ok := d.Steal()
+		if !ok || v != want {
+			t.Fatalf("steal = %d,%v; want %d", v, ok, want)
+		}
+	}
+}
+
+func TestCapacityValidation(t *testing.T) {
+	for _, bad := range []int{0, -1, 3, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("capacity %d did not panic", bad)
+				}
+			}()
+			New(bad, core.Immediate{})
+		}()
+	}
+}
+
+// TestConcurrentExactOnce is the native analogue of the machine-level
+// soundness test: one owner churning push/take, several thieves
+// stealing, every value obtained exactly once.
+func TestConcurrentExactOnce(t *testing.T) {
+	const (
+		items   = 30000
+		thieves = 3
+	)
+	// A small real Δ keeps the test fast while exercising the wait.
+	d := New(1024, core.NewFixedDelta(20*time.Microsecond))
+	var got sync.Map // value -> *int32 count
+	record := func(v uint64) {
+		c, _ := got.LoadOrStore(v, new(int32))
+		atomic.AddInt32(c.(*int32), 1)
+	}
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // owner
+		defer wg.Done()
+		defer done.Store(true)
+		next := uint64(1)
+		for next <= items {
+			for i := 0; i < 4 && next <= items; i++ {
+				if d.Push(next) {
+					next++
+				}
+			}
+			if v, ok := d.Take(); ok {
+				record(v)
+			}
+		}
+		for {
+			v, ok := d.Take()
+			if !ok {
+				if d.Size() == 0 {
+					return
+				}
+				continue
+			}
+			record(v)
+		}
+	}()
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				if v, ok := d.Steal(); ok {
+					record(v)
+				}
+			}
+			for { // final sweep
+				v, ok := d.Steal()
+				if !ok {
+					return
+				}
+				record(v)
+			}
+		}()
+	}
+	wg.Wait()
+	// Anything left in the deque (owner and thieves may both have
+	// given up on the same transient) is drained now.
+	for {
+		v, ok := d.Take()
+		if !ok {
+			break
+		}
+		record(v)
+	}
+	dup, lost := 0, 0
+	for v := uint64(1); v <= items; v++ {
+		c, ok := got.Load(v)
+		switch {
+		case !ok:
+			lost++
+		case atomic.LoadInt32(c.(*int32)) != 1:
+			dup++
+		}
+	}
+	if dup != 0 || lost != 0 {
+		t.Fatalf("%d duplicated, %d lost of %d items", dup, lost, items)
+	}
+}
+
+func BenchmarkOwnerPushTake(b *testing.B) {
+	d := New(1024, core.NewFixedDelta(500*time.Microsecond))
+	for i := 0; i < b.N; i++ {
+		d.Push(uint64(i))
+		d.Take()
+	}
+}
+
+func BenchmarkStealUncontended(b *testing.B) {
+	d := New(1<<20, core.Immediate{})
+	for i := 0; i < b.N; i++ {
+		d.Push(uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Steal()
+	}
+}

@@ -1,0 +1,32 @@
+package deque_test
+
+import (
+	"fmt"
+	"time"
+
+	"tbtso/internal/core"
+	"tbtso/internal/deque"
+)
+
+// A work-stealing deque with a fence-free owner: Push/Take issue no
+// fences and no atomic read-modify-writes on the common path; a thief's
+// Steal waits out the visibility bound before trusting bottom.
+func ExampleNew() {
+	d := deque.New(8, core.NewFixedDelta(100*time.Microsecond))
+
+	d.Push(10)
+	d.Push(20)
+	d.Push(30)
+
+	v, _ := d.Take() // owner takes LIFO
+	fmt.Println("owner took:", v)
+
+	s, _ := d.Steal() // thief steals FIFO, after the Δ wait
+	fmt.Println("thief stole:", s)
+
+	fmt.Println("left:", d.Size())
+	// Output:
+	// owner took: 30
+	// thief stole: 10
+	// left: 1
+}

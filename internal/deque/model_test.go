@@ -1,0 +1,90 @@
+package deque
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tbtso/internal/core"
+)
+
+// TestQuickAgainstSliceModel drives random single-threaded op sequences
+// against a plain-slice model of a double-ended queue.
+func TestQuickAgainstSliceModel(t *testing.T) {
+	f := func(ops []uint8) bool {
+		d := New(64, core.Immediate{})
+		var model []uint64
+		next := uint64(1)
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // push (bottom)
+				ok := d.Push(next)
+				wantOK := len(model) < 64
+				if ok != wantOK {
+					return false
+				}
+				if ok {
+					model = append(model, next)
+				}
+				next++
+			case 1: // take (bottom)
+				v, ok := d.Take()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					want := model[len(model)-1]
+					model = model[:len(model)-1]
+					if v != want {
+						return false
+					}
+				}
+			case 2: // steal (top)
+				v, ok := d.Steal()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					want := model[0]
+					model = model[1:]
+					if v != want {
+						return false
+					}
+				}
+			}
+			if d.Size() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWraparound(t *testing.T) {
+	// Push/take far past the capacity to exercise index wrapping.
+	d := New(8, core.Immediate{})
+	for round := 0; round < 100; round++ {
+		for i := uint64(0); i < 8; i++ {
+			if !d.Push(round0(round, i)) {
+				t.Fatalf("round %d: push failed", round)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			if _, ok := d.Take(); !ok {
+				t.Fatalf("round %d: take failed", round)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			if _, ok := d.Steal(); !ok {
+				t.Fatalf("round %d: steal failed", round)
+			}
+		}
+	}
+	if d.Size() != 0 {
+		t.Fatalf("size = %d after balanced rounds", d.Size())
+	}
+}
+
+func round0(r int, i uint64) uint64 { return uint64(r)*8 + i }

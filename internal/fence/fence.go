@@ -1,0 +1,48 @@
+// Package fence provides an explicit memory-fence cost model for the
+// native benchmarks.
+//
+// Go's sync/atomic operations are sequentially consistent, so a Go
+// program cannot literally elide a hardware fence the way the paper's C
+// code does. What the paper measures, though, is the *relative* cost of
+// the fast path with and without a serializing instruction. This package
+// makes that cost explicit: algorithms that the paper writes with a
+// `fence` call Full() — a real serializing read-modify-write on a
+// thread-private cache line, which is what an MFENCE costs in the
+// uncontended case — and the fence-free variants simply do not call it.
+// See DESIGN.md §1 for the substitution rationale.
+package fence
+
+import "sync/atomic"
+
+// CacheLine is the assumed cache-line size in bytes, used for padding
+// throughout the repository.
+const CacheLine = 64
+
+// Line is a thread-private cache line on which Full() serializes. Each
+// worker should own one (via NewLines or by embedding) so that fences do
+// not create cross-core traffic, mirroring MFENCE's core-local cost.
+type Line struct {
+	_ [CacheLine]byte
+	v atomic.Uint64
+	_ [CacheLine - 8]byte
+}
+
+// Full issues a full memory barrier: a locked read-modify-write on the
+// private line. On amd64 this compiles to LOCK XADD, which drains the
+// store buffer exactly as MFENCE does.
+func (l *Line) Full() {
+	l.v.Add(0)
+}
+
+// Lines is a set of per-thread fence lines.
+type Lines struct {
+	ls []Line
+}
+
+// NewLines returns n independent padded fence lines.
+func NewLines(n int) *Lines {
+	return &Lines{ls: make([]Line, n)}
+}
+
+// Full issues a full barrier on thread tid's private line.
+func (f *Lines) Full(tid int) { f.ls[tid].Full() }

@@ -1,0 +1,43 @@
+package fence
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestLinePadding(t *testing.T) {
+	// Two adjacent Lines must not share a cache line.
+	if sz := unsafe.Sizeof(Line{}); sz < 2*CacheLine {
+		t.Fatalf("Line size %d too small for padding", sz)
+	}
+}
+
+func TestFullIsCallable(t *testing.T) {
+	var l Line
+	for i := 0; i < 1000; i++ {
+		l.Full()
+	}
+}
+
+func TestLinesConcurrent(t *testing.T) {
+	f := NewLines(4)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 10000; k++ {
+				f.Full(i)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func BenchmarkFenceFull(b *testing.B) {
+	var l Line
+	for i := 0; i < b.N; i++ {
+		l.Full()
+	}
+}

@@ -1,0 +1,44 @@
+package hashtable_test
+
+import (
+	"fmt"
+	"time"
+
+	"tbtso/internal/arena"
+	"tbtso/internal/hashtable"
+	"tbtso/internal/list"
+	"tbtso/internal/smr"
+)
+
+// Assemble the §7.1 benchmark structure: an arena, an SMR scheme, and
+// the chaining hash table, then use it as a concurrent set.
+func Example() {
+	ar := arena.New(1024, 2) // capacity, worker slots
+	scheme := smr.New(smr.KindFFHP, smr.Config{
+		Threads: 1,
+		K:       list.NumSlots,
+		R:       128,
+		Arena:   ar,
+		Delta:   500 * time.Microsecond,
+	})
+	defer scheme.Close()
+
+	table := hashtable.New(ar, scheme, 64)
+	const tid = 0 // this goroutine's worker slot
+
+	table.Insert(tid, 7)
+	table.Insert(tid, 42)
+	fmt.Println("has 42:", table.Lookup(tid, 42))
+	fmt.Println("removed 7:", table.Remove(tid, 7))
+	fmt.Println("has 7:", table.Lookup(tid, 7))
+	fmt.Println("size:", table.Len())
+
+	scheme.Flush(tid) // reclaim the removed node (waits out Δ)
+	fmt.Println("violations:", ar.Violations())
+	// Output:
+	// has 42: true
+	// removed 7: true
+	// has 7: false
+	// size: 1
+	// violations: 0
+}

@@ -1,0 +1,108 @@
+// Package hashtable implements the concurrent chaining hash table of
+// the paper's evaluation (§7.1): a fixed array of buckets, each a
+// Michael nonblocking sorted linked list, with reclamation delegated to
+// a pluggable SMR scheme. The chain length L is controlled by the key
+// universe size, exactly as the benchmark controls it.
+package hashtable
+
+import (
+	"tbtso/internal/arena"
+	"tbtso/internal/list"
+	"tbtso/internal/smr"
+)
+
+// DefaultBuckets is the evaluation's bucket count.
+const DefaultBuckets = 1024
+
+// Table is the concurrent hash table.
+type Table struct {
+	buckets []*list.List
+	mask    uint64
+	scheme  smr.Scheme
+}
+
+// New creates a table with the given power-of-two bucket count.
+func New(ar *arena.Arena, s smr.Scheme, buckets int) *Table {
+	if buckets <= 0 || buckets&(buckets-1) != 0 {
+		panic("hashtable: bucket count must be a positive power of two")
+	}
+	t := &Table{
+		buckets: make([]*list.List, buckets),
+		mask:    uint64(buckets - 1),
+		scheme:  s,
+	}
+	for i := range t.buckets {
+		t.buckets[i] = list.New(ar, s, uint64(i))
+	}
+	return t
+}
+
+// hash mixes the key (splitmix64 finalizer) so sequential universes
+// spread across buckets.
+func hash(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}
+
+func (t *Table) bucket(key uint64) (*list.List, uint64) {
+	b := hash(key) & t.mask
+	return t.buckets[b], b
+}
+
+// Lookup reports whether key is present. It brackets the operation with
+// the scheme's OpBegin/OpEnd, as every public operation does.
+func (t *Table) Lookup(tid int, key uint64) bool {
+	l, shard := t.bucket(key)
+	t.scheme.OpBegin(tid, shard)
+	ok := l.Contains(tid, key)
+	t.scheme.OpEnd(tid)
+	return ok
+}
+
+// Insert adds key; false means it was already present.
+func (t *Table) Insert(tid int, key uint64) (bool, error) {
+	l, shard := t.bucket(key)
+	t.scheme.OpBegin(tid, shard)
+	ok, err := l.Insert(tid, key)
+	t.scheme.OpEnd(tid)
+	return ok, err
+}
+
+// Remove deletes key; false means it was absent.
+func (t *Table) Remove(tid int, key uint64) bool {
+	l, shard := t.bucket(key)
+	t.scheme.OpBegin(tid, shard)
+	ok := l.Delete(tid, key)
+	t.scheme.OpEnd(tid)
+	return ok
+}
+
+// LookupStalled performs a lookup with an injected stall *inside* the
+// operation — between the scheme's OpBegin and the traversal — modeling
+// a reader context-switched out mid-operation (the Figure 7
+// experiment). For grace-period schemes (RCU, EBR) the stall therefore
+// blocks reclamation, exactly as a real descheduled reader would.
+func (t *Table) LookupStalled(tid int, key uint64, stall func()) bool {
+	l, shard := t.bucket(key)
+	t.scheme.OpBegin(tid, shard)
+	stall()
+	ok := l.Contains(tid, key)
+	t.scheme.OpEnd(tid)
+	return ok
+}
+
+// Len counts elements. Quiescent use only.
+func (t *Table) Len() int {
+	n := 0
+	for _, l := range t.buckets {
+		n += l.Len()
+	}
+	return n
+}
+
+// Scheme returns the table's SMR scheme.
+func (t *Table) Scheme() smr.Scheme { return t.scheme }

@@ -1,0 +1,110 @@
+package hashtable
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"tbtso/internal/smr"
+)
+
+// TestConcurrentPerThreadOwnership gives each worker a disjoint key set
+// so every worker checks its own operations against a local model — a
+// coordination-free linearizability check over the whole table.
+func TestConcurrentPerThreadOwnership(t *testing.T) {
+	const (
+		threads = 4
+		iters   = 3000
+	)
+	for _, kind := range []smr.Kind{smr.KindFFHP, smr.KindHP, smr.KindEBR, smr.KindStack, smr.KindGuards} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			tb, ar, s := newTable(t, kind, threads, 64, 16384)
+			defer s.Close()
+			errs := make(chan error, threads)
+			var wg sync.WaitGroup
+			for tid := 0; tid < threads; tid++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(tid + 1)))
+					model := map[uint64]bool{}
+					for i := 0; i < iters; i++ {
+						k := uint64(rng.Intn(200))*threads + uint64(tid)
+						switch rng.Intn(3) {
+						case 0:
+							got, err := tb.Insert(tid, k)
+							if err != nil {
+								errs <- err
+								return
+							}
+							if got == model[k] {
+								errs <- fmt.Errorf("T%d insert(%d)=%v model=%v", tid, k, got, model[k])
+								return
+							}
+							model[k] = true
+						case 1:
+							if got := tb.Remove(tid, k); got != model[k] {
+								errs <- fmt.Errorf("T%d remove(%d)=%v model=%v", tid, k, got, model[k])
+								return
+							}
+							delete(model, k)
+						default:
+							if got := tb.Lookup(tid, k); got != model[k] {
+								errs <- fmt.Errorf("T%d lookup(%d)=%v model=%v", tid, k, got, model[k])
+								return
+							}
+						}
+					}
+					s.Flush(tid)
+				}(tid)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			if v := ar.Violations(); v != 0 {
+				t.Fatalf("%d arena violations", v)
+			}
+		})
+	}
+}
+
+// TestStalledLookupBlocksGraceSchemes pins the Figure 7 mechanism at
+// unit scale: a lookup stalled mid-operation blocks RCU reclamation but
+// not FFHP's.
+func TestStalledLookupBlocksGraceSchemes(t *testing.T) {
+	tb, _, s := newTable(t, smr.KindRCU, 2, 16, 512)
+	defer s.Close()
+	rcu := s.(*smr.RCU)
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	go func() {
+		tb.LookupStalled(1, 3, func() {
+			close(entered)
+			<-release
+		})
+	}()
+	<-entered
+	// Generate garbage from thread 0 while the reader is pinned.
+	for k := uint64(0); k < 50; k++ {
+		if _, err := tb.Insert(0, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(0); k < 50; k++ {
+		tb.Remove(0, k)
+	}
+	if rcu.Unreclaimed() == 0 {
+		t.Fatal("no garbage generated")
+	}
+	before := rcu.Unreclaimed()
+	// The reader is mid-operation: nothing can be freed.
+	s.Flush(0)
+	if got := rcu.Unreclaimed(); got != before {
+		t.Fatalf("RCU freed %d nodes under a pinned reader", before-got)
+	}
+	close(release)
+}

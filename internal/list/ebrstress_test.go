@@ -1,0 +1,71 @@
+package list
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"tbtso/internal/arena"
+	"tbtso/internal/smr"
+)
+
+// TestEBRStress hammers the EBR-backed list across scheduler rounds; it
+// originated as the diagnostic that pinned down a premature-free in an
+// earlier EBR Flush and stays as a regression guard.
+func TestEBRStress(t *testing.T) {
+	for round := 0; round < 6; round++ {
+		ar := arena.New(4096, 5)
+		cfg := smr.Config{Threads: 4, K: 3, R: 16, Arena: ar, Delta: time.Millisecond}
+		s := smr.NewEBR(cfg)
+		l := New(ar, s, 0)
+		var wg sync.WaitGroup
+		errs := make(chan error, 4)
+		for tid := 0; tid < 4; tid++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(round*10 + tid)))
+				model := map[uint64]bool{}
+				for i := 0; i < 3000; i++ {
+					k := uint64(rng.Intn(32))*4 + uint64(tid)
+					s.OpBegin(tid, 0)
+					switch rng.Intn(3) {
+					case 0:
+						got, _ := l.Insert(tid, k)
+						if got == model[k] {
+							errs <- fmt.Errorf("round=%d T%d i=%d: insert(%d)=%v model=%v viol=%d", round, tid, i, k, got, model[k], ar.Violations())
+							s.OpEnd(tid)
+							return
+						}
+						model[k] = true
+					case 1:
+						if got := l.Delete(tid, k); got != model[k] {
+							errs <- fmt.Errorf("round=%d T%d i=%d: delete(%d)=%v model=%v viol=%d", round, tid, i, k, got, model[k], ar.Violations())
+							s.OpEnd(tid)
+							return
+						}
+						delete(model, k)
+					case 2:
+						if got := l.Contains(tid, k); got != model[k] {
+							errs <- fmt.Errorf("round=%d T%d i=%d: contains(%d)=%v model=%v viol=%d", round, tid, i, k, got, model[k], ar.Violations())
+							s.OpEnd(tid)
+							return
+						}
+					}
+					s.OpEnd(tid)
+				}
+			}(tid)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatalf("%v (final violations=%d)", err, ar.Violations())
+		}
+		if v := ar.Violations(); v != 0 {
+			t.Fatalf("round=%d: %d violations, first %v", round, v, ar.FirstViolation())
+		}
+		s.Close()
+	}
+}

@@ -1,0 +1,220 @@
+// Package list implements Michael's nonblocking sorted linked list
+// (Figure 1 of the paper; Michael, SPAA '02) over the unmanaged arena,
+// parameterized by a safe-memory-reclamation scheme. It is the building
+// block of the hash table the evaluation benchmarks (§7.1).
+//
+// Nodes are arena handles; each node's <next,mark> MarkPtr is a single
+// word CASed atomically, with the mark in the LSB exactly as in the
+// paper. The traversal follows Figure 1's hazard-pointer protocol: for
+// pointer-based schemes every node is protected before dereference and
+// the source pointer revalidated; for epoch/quiescence schemes the
+// protection calls are no-ops and the validation reads are skipped, so
+// each scheme pays exactly its own fast-path cost.
+package list
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"tbtso/internal/arena"
+	"tbtso/internal/smr"
+)
+
+// Protection slot roles, matching Figure 1's hp0/hp1/hp2.
+const (
+	slotNext = 0 // hp0: the successor being examined
+	slotCur  = 1 // hp1: the current node
+	slotPrev = 2 // hp2: the predecessor node
+)
+
+// NumSlots is the number of protection slots the list requires from
+// its SMR scheme (Config.K must be at least this).
+const NumSlots = 3
+
+// List is one sorted set of uint64 keys.
+type List struct {
+	head  atomic.Uint64 // a MarkWord: the head pointer (immutable sentinel)
+	ar    *arena.Arena
+	smr   smr.Scheme
+	shard uint64 // conflict shard passed to the scheme (bucket index)
+}
+
+// New creates an empty list whose nodes come from ar and whose
+// reclamation is managed by s. shard identifies this list to
+// transactional schemes (use the bucket index; 0 for standalone lists).
+func New(ar *arena.Arena, s smr.Scheme, shard uint64) *List {
+	return &List{ar: ar, smr: s, shard: shard}
+}
+
+// ErrFull is returned by Insert when the arena is exhausted.
+var ErrFull = errors.New("list: arena exhausted")
+
+// pos is the result of find: prev is the word holding the pointer to
+// cur (either the list head or a node's next word).
+type pos struct {
+	found    bool
+	prevNode arena.Handle // node whose next word is the prev link; Nil if head
+	cur      arena.Handle
+	next     arena.Handle
+}
+
+// loadPrev reads the link word that pointed at cur.
+func (l *List) loadPrev(p *pos) arena.MarkWord {
+	if p.prevNode.IsNil() {
+		return arena.MarkWord(l.head.Load())
+	}
+	return l.ar.Next(p.prevNode)
+}
+
+// casPrev swings the link word that pointed at cur.
+func (l *List) casPrev(p *pos, old, new arena.MarkWord) bool {
+	if p.prevNode.IsNil() {
+		return l.head.CompareAndSwap(uint64(old), uint64(new))
+	}
+	return l.ar.CASNext(p.prevNode, old, new)
+}
+
+// find is Figure 1's find(): locate the first unmarked node with
+// key >= target, physically unlinking marked nodes on the way. On
+// return (when the scheme is pointer-based) cur is protected by hp1 and
+// prevNode by hp2.
+func (l *List) find(tid int, key uint64) pos {
+retry:
+	for {
+		p := pos{prevNode: arena.Nil}
+		curW := arena.MarkWord(l.head.Load())
+		cur := curW.Handle()
+		// Figure 1 line 33: protect cur, validate *prev.
+		if l.smr.Protect(tid, slotCur, cur) {
+			if arena.MarkWord(l.head.Load()) != arena.Pack(cur, false) {
+				continue retry
+			}
+		}
+		for {
+			if l.smr.Visit(tid) {
+				continue retry // transactional scheme aborted
+			}
+			if cur.IsNil() {
+				p.cur = arena.Nil
+				return p
+			}
+			nextW := l.ar.Next(cur)
+			next, mark := nextW.Unpack()
+			// Figure 1 line 36: protect next, validate cur.next.
+			needsVal := l.smr.Protect(tid, slotNext, next)
+			if needsVal && l.ar.Next(cur) != nextW {
+				continue retry
+			}
+			ckey := l.ar.Key(cur)
+			// Figure 1 line 38: revalidate *prev before using ckey.
+			if needsVal && l.loadPrev(&p) != arena.Pack(cur, false) {
+				continue retry
+			}
+			if !mark {
+				if ckey >= key {
+					p.found = ckey == key
+					p.cur, p.next = cur, next
+					return p
+				}
+				p.prevNode = cur
+				l.smr.Copy(tid, slotPrev, cur) // hp2 := hp1, no fence (§4.1)
+			} else {
+				// cur is logically deleted: unlink it.
+				if l.casPrev(&p, arena.Pack(cur, false), arena.Pack(next, false)) {
+					l.smr.UpdateHint(tid, l.shard)
+					l.smr.Retire(tid, cur)
+				} else {
+					continue retry
+				}
+			}
+			cur = next
+			l.smr.Copy(tid, slotCur, next) // hp1 := hp0, no fence (§4.1)
+		}
+	}
+}
+
+// Contains reports whether key is in the set. The caller brackets the
+// call with the scheme's OpBegin/OpEnd (as internal/hashtable does).
+func (l *List) Contains(tid int, key uint64) bool {
+	return l.find(tid, key).found
+}
+
+// Insert adds key; it reports false if already present. Returns ErrFull
+// if the arena is exhausted.
+func (l *List) Insert(tid int, key uint64) (bool, error) {
+	node := arena.Nil
+	for {
+		p := l.find(tid, key)
+		if p.found {
+			if !node.IsNil() {
+				l.ar.Free(tid, node) // never published
+			}
+			return false, nil
+		}
+		if node.IsNil() {
+			node = l.ar.Alloc(tid)
+			if node.IsNil() {
+				return false, ErrFull
+			}
+			l.ar.SetKey(node, key)
+		}
+		l.ar.SetNext(node, arena.Pack(p.cur, false))
+		if l.casPrev(&p, arena.Pack(p.cur, false), arena.Pack(node, false)) {
+			l.smr.UpdateHint(tid, l.shard)
+			return true, nil
+		}
+	}
+}
+
+// Delete removes key; it reports whether it was present (Figure 1's
+// delete()).
+func (l *List) Delete(tid int, key uint64) bool {
+	for {
+		p := l.find(tid, key)
+		if !p.found {
+			return false
+		}
+		// Logical deletion (line 25).
+		if !l.ar.CASNext(p.cur, arena.Pack(p.next, false), arena.Pack(p.next, true)) {
+			continue
+		}
+		// Physical removal (line 26); the CAS makes the removal
+		// globally visible before retire, as §4.2 requires.
+		if l.casPrev(&p, arena.Pack(p.cur, false), arena.Pack(p.next, false)) {
+			l.smr.UpdateHint(tid, l.shard)
+			l.smr.Retire(tid, p.cur)
+		} else {
+			l.find(tid, key) // let the traversal unlink it
+		}
+		return true
+	}
+}
+
+// Len counts unmarked nodes. Quiescent use only (walks without
+// protection).
+func (l *List) Len() int {
+	n := 0
+	w := arena.MarkWord(l.head.Load())
+	for h := w.Handle(); !h.IsNil(); {
+		nw := l.ar.Next(h)
+		if !nw.Marked() {
+			n++
+		}
+		h = nw.Handle()
+	}
+	return n
+}
+
+// Keys returns the unmarked keys in order. Quiescent use only.
+func (l *List) Keys() []uint64 {
+	var out []uint64
+	w := arena.MarkWord(l.head.Load())
+	for h := w.Handle(); !h.IsNil(); {
+		nw := l.ar.Next(h)
+		if !nw.Marked() {
+			out = append(out, l.ar.Key(h))
+		}
+		h = nw.Handle()
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+package list
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"tbtso/internal/arena"
+	"tbtso/internal/ostick"
+	"tbtso/internal/smr"
+)
+
+// withEveryScheme runs fn once per SMR scheme, with a fresh arena.
+func withEveryScheme(t *testing.T, threads, capacity int, fn func(t *testing.T, s smr.Scheme, ar *arena.Arena)) {
+	t.Helper()
+	board := ostick.NewBoard(threads, time.Millisecond)
+	defer board.Stop()
+	kinds := append(smr.AllKinds(), smr.KindGuards, smr.KindFFGuards)
+	for _, kind := range kinds {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			ar := arena.New(capacity, threads+1)
+			cfg := smr.Config{
+				Threads: threads,
+				K:       NumSlots,
+				R:       threads*NumSlots + 4,
+				Arena:   ar,
+				Delta:   2 * time.Millisecond,
+				Board:   board,
+			}
+			s := smr.New(kind, cfg)
+			defer s.Close()
+			fn(t, s, ar)
+			if v := ar.Violations(); v != 0 {
+				t.Fatalf("%s: %d arena violations (first: %v)", kind, v, ar.FirstViolation())
+			}
+		})
+	}
+}
+
+func TestSequentialSetSemantics(t *testing.T) {
+	withEveryScheme(t, 1, 512, func(t *testing.T, s smr.Scheme, ar *arena.Arena) {
+		l := New(ar, s, 0)
+		model := map[uint64]bool{}
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 3000; i++ {
+			k := uint64(rng.Intn(64))
+			s.OpBegin(0, 0)
+			switch rng.Intn(3) {
+			case 0:
+				got, err := l.Insert(0, k)
+				if err != nil {
+					t.Fatalf("insert: %v", err)
+				}
+				if got == model[k] {
+					t.Fatalf("insert(%d) = %v, model has %v", k, got, model[k])
+				}
+				model[k] = true
+			case 1:
+				if got := l.Delete(0, k); got != model[k] {
+					t.Fatalf("delete(%d) = %v, model %v", k, got, model[k])
+				}
+				delete(model, k)
+			case 2:
+				if got := l.Contains(0, k); got != model[k] {
+					t.Fatalf("contains(%d) = %v, model %v", k, got, model[k])
+				}
+			}
+			s.OpEnd(0)
+		}
+		keys := l.Keys()
+		if len(keys) != len(model) {
+			t.Fatalf("list has %d keys, model %d", len(keys), len(model))
+		}
+		if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+			t.Fatalf("keys not sorted: %v", keys)
+		}
+		for _, k := range keys {
+			if !model[k] {
+				t.Fatalf("stray key %d", k)
+			}
+		}
+	})
+}
+
+func TestInsertDuplicateAndDeleteMissing(t *testing.T) {
+	withEveryScheme(t, 1, 64, func(t *testing.T, s smr.Scheme, ar *arena.Arena) {
+		l := New(ar, s, 0)
+		s.OpBegin(0, 0)
+		defer s.OpEnd(0)
+		if ok, _ := l.Insert(0, 5); !ok {
+			t.Fatal("first insert failed")
+		}
+		if ok, _ := l.Insert(0, 5); ok {
+			t.Fatal("duplicate insert succeeded")
+		}
+		if l.Delete(0, 99) {
+			t.Fatal("delete of missing key succeeded")
+		}
+		if !l.Delete(0, 5) {
+			t.Fatal("delete of present key failed")
+		}
+		if l.Contains(0, 5) {
+			t.Fatal("key survives delete")
+		}
+	})
+}
+
+func TestInsertArenaExhaustion(t *testing.T) {
+	ar := arena.New(4, 2)
+	s := smr.NewLeaky(smr.Config{Threads: 1, K: 3, R: 10, Arena: ar})
+	l := New(ar, s, 0)
+	for i := uint64(0); i < 4; i++ {
+		if ok, err := l.Insert(0, i); !ok || err != nil {
+			t.Fatalf("insert %d: %v %v", i, ok, err)
+		}
+	}
+	if _, err := l.Insert(0, 100); err != ErrFull {
+		t.Fatalf("err = %v, want ErrFull", err)
+	}
+}
+
+// TestConcurrentPerThreadOwnership gives each thread a disjoint key
+// slice so every thread can check its own operations against a local
+// model — a linearizability check that needs no global coordination.
+func TestConcurrentPerThreadOwnership(t *testing.T) {
+	const threads = 4
+	const iters = 4000
+	withEveryScheme(t, threads, 4096, func(t *testing.T, s smr.Scheme, ar *arena.Arena) {
+		l := New(ar, s, 0)
+		var wg sync.WaitGroup
+		errs := make(chan error, threads)
+		for tid := 0; tid < threads; tid++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(tid)))
+				model := map[uint64]bool{}
+				for i := 0; i < iters; i++ {
+					k := uint64(rng.Intn(32))*threads + uint64(tid) // disjoint
+					s.OpBegin(tid, 0)
+					switch rng.Intn(3) {
+					case 0:
+						got, err := l.Insert(tid, k)
+						if err != nil {
+							errs <- err
+							s.OpEnd(tid)
+							return
+						}
+						if got == model[k] {
+							errs <- fmt.Errorf("T%d: insert(%d)=%v model=%v", tid, k, got, model[k])
+							s.OpEnd(tid)
+							return
+						}
+						model[k] = true
+					case 1:
+						if got := l.Delete(tid, k); got != model[k] {
+							errs <- fmt.Errorf("T%d: delete(%d)=%v model=%v", tid, k, got, model[k])
+							s.OpEnd(tid)
+							return
+						}
+						delete(model, k)
+					case 2:
+						if got := l.Contains(tid, k); got != model[k] {
+							errs <- fmt.Errorf("T%d: contains(%d)=%v model=%v", tid, k, got, model[k])
+							s.OpEnd(tid)
+							return
+						}
+					}
+					s.OpEnd(tid)
+				}
+				s.Flush(tid)
+				if r, ok := s.(*smr.RCU); ok {
+					r.Offline(tid)
+				}
+			}(tid)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		keys := l.Keys()
+		if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+			t.Fatalf("keys not sorted")
+		}
+		for i := 1; i < len(keys); i++ {
+			if keys[i] == keys[i-1] {
+				t.Fatalf("duplicate key %d", keys[i])
+			}
+		}
+	})
+}
+
+// TestConcurrentChurnConservation hammers a small key range from all
+// threads and then checks allocator conservation: every allocated node
+// is either in the list, retired-but-unreclaimed, or freed.
+func TestConcurrentChurnConservation(t *testing.T) {
+	const threads = 4
+	withEveryScheme(t, threads, 8192, func(t *testing.T, s smr.Scheme, ar *arena.Arena) {
+		l := New(ar, s, 0)
+		var wg sync.WaitGroup
+		for tid := 0; tid < threads; tid++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(100 + tid)))
+				for i := 0; i < 3000; i++ {
+					k := uint64(rng.Intn(16))
+					s.OpBegin(tid, 0)
+					switch rng.Intn(3) {
+					case 0:
+						_, _ = l.Insert(tid, k)
+					case 1:
+						l.Delete(tid, k)
+					default:
+						l.Contains(tid, k)
+					}
+					s.OpEnd(tid)
+				}
+				s.Flush(tid)
+				if r, ok := s.(*smr.RCU); ok {
+					r.Offline(tid)
+				}
+			}(tid)
+		}
+		wg.Wait()
+		// Give background reclaimers a chance, then check conservation.
+		s.Flush(0)
+		inList := l.Len()
+		unreclaimed := s.Unreclaimed()
+		live := ar.Live()
+		// marked-but-unlinked nodes are counted as unreclaimed only
+		// after retire; a node marked but not yet unlinked stays in the
+		// list structure. After quiescence there are none mid-flight.
+		if live != inList+unreclaimed {
+			t.Fatalf("conservation: live=%d inList=%d unreclaimed=%d", live, inList, unreclaimed)
+		}
+	})
+}
+
+func TestLenAndKeysAgree(t *testing.T) {
+	ar := arena.New(64, 2)
+	s := smr.NewLeaky(smr.Config{Threads: 1, K: 3, R: 10, Arena: ar})
+	l := New(ar, s, 0)
+	for _, k := range []uint64{9, 3, 7, 1} {
+		l.Insert(0, k)
+	}
+	l.Delete(0, 7)
+	if l.Len() != 3 || len(l.Keys()) != 3 {
+		t.Fatalf("Len=%d Keys=%v", l.Len(), l.Keys())
+	}
+}

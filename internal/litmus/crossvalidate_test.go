@@ -1,0 +1,91 @@
+package litmus
+
+import (
+	"fmt"
+	"testing"
+
+	"tbtso/internal/mc"
+	"tbtso/internal/tso"
+)
+
+// TestSampledOutcomesWithinExhaustiveSet cross-validates the two
+// machines: every outcome the clocked abstract machine (internal/tso)
+// samples for the SB litmus test must be in the outcome set the
+// explicit-state model checker (internal/mc) proves admissible — for
+// plain TSO and for a bounded machine.
+func TestSampledOutcomesWithinExhaustiveSet(t *testing.T) {
+	sbProg := mc.Program{
+		Threads: [][]mc.Op{
+			{mc.St(0, 1), mc.Ld(1, 0)},
+			{mc.St(1, 1), mc.Ld(0, 0)},
+		},
+		Vars: 2, Regs: 1,
+	}
+
+	cases := []struct {
+		name    string
+		machDel uint64 // clocked machine Δ in ticks
+		mcDel   int    // model checker Δ in transitions
+	}{
+		{"plain TSO", 0, 0},
+		// A generous clocked Δ maps onto an unconstrained-enough
+		// transition bound; both admit the full TSO outcome set.
+		{"bounded", 400, 50},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			exhaustive := mc.Explore(sbProg, tc.mcDel)
+			rep := Run(StoreBuffering(false), RunConfig{Seeds: 120, Delta: tc.machDel})
+			if len(rep.Errs) > 0 {
+				t.Fatalf("sampled run errors: %v", rep.Errs[0])
+			}
+			for outcome := range rep.Counts {
+				// Translate "T0:r=X T1:r=Y" to the checker's naming.
+				var x, y int
+				if _, err := fmt.Sscanf(outcome, "T0:r=%d T1:r=%d", &x, &y); err != nil {
+					t.Fatalf("unparseable outcome %q", outcome)
+				}
+				key := fmt.Sprintf("T0:r0=%d T1:r0=%d", x, y)
+				if !exhaustive.Has(key) {
+					t.Fatalf("sampled machine produced %q, which the exhaustive model forbids (set: %v)",
+						key, exhaustive.List())
+				}
+			}
+		})
+	}
+}
+
+// TestExhaustiveMatchesSampledForbidden checks agreement in the other
+// direction on the asymmetric flag principle: both machines must forbid
+// 0/0 under their bounds, and both must admit it unbounded.
+func TestExhaustiveMatchesSampledForbidden(t *testing.T) {
+	flagProg := func(wait int) mc.Program {
+		return mc.Program{
+			Threads: [][]mc.Op{
+				{mc.St(0, 1), mc.Ld(1, 0)},
+				{mc.St(1, 1), mc.Fence(), mc.Wait(wait), mc.Ld(0, 0)},
+			},
+			Vars: 2, Regs: 1,
+		}
+	}
+	const zz = "T0:r0=0 T1:r0=0"
+
+	if mc.Explore(flagProg(13), 12).Has(zz) {
+		t.Fatal("model checker admits 0/0 under TBTSO with adequate wait")
+	}
+	rep := Run(TBTSOFlagPrinciple(), RunConfig{Seeds: 100, Delta: 150})
+	if rep.ForbiddenSeen() {
+		t.Fatal("sampled machine observed 0/0 under TBTSO")
+	}
+
+	if !mc.Explore(flagProg(13), 0).Has(zz) {
+		t.Fatal("model checker misses 0/0 on plain TSO")
+	}
+	unb := TBTSOFlagPrinciple()
+	unb.Forbidden = nil
+	unb.Relaxed = func(o Outcome) bool { return o["T0:saw1"] == 0 && o["T1:saw0"] == 0 }
+	repU := Run(unb, RunConfig{Seeds: 100, Delta: 0, Policies: []tso.DrainPolicy{tso.DrainAdversarial}})
+	if repU.RelaxedN == 0 {
+		t.Fatal("sampled machine misses 0/0 on plain TSO")
+	}
+}

@@ -1,0 +1,111 @@
+package litmus
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tbtso/internal/mc"
+	"tbtso/internal/tso"
+)
+
+// TestFuzzSampledSubsetOfExhaustive generates random two-thread
+// straight-line programs and checks, for each, that every outcome the
+// clocked abstract machine samples is admitted by the exhaustive model
+// checker — under plain TSO and under a bound. This pins the two
+// implementations of the memory model to each other.
+func TestFuzzSampledSubsetOfExhaustive(t *testing.T) {
+	const (
+		programs = 25
+		vars     = 2
+		maxOps   = 4
+	)
+	for pi := 0; pi < programs; pi++ {
+		rng := rand.New(rand.NewSource(int64(pi)))
+		// Generate the program in mc form.
+		prog := mc.Program{Vars: vars, Regs: maxOps}
+		type opDesc struct {
+			isStore  bool
+			addr     int
+			val, reg int
+		}
+		descs := make([][]opDesc, 2)
+		for th := 0; th < 2; th++ {
+			n := rng.Intn(maxOps) + 1
+			var ops []mc.Op
+			regs := 0
+			for k := 0; k < n; k++ {
+				addr := rng.Intn(vars)
+				if rng.Intn(2) == 0 {
+					val := rng.Intn(2) + 1
+					ops = append(ops, mc.St(addr, val))
+					descs[th] = append(descs[th], opDesc{isStore: true, addr: addr, val: val})
+				} else {
+					ops = append(ops, mc.Ld(addr, regs))
+					descs[th] = append(descs[th], opDesc{addr: addr, reg: regs})
+					regs++
+				}
+			}
+			prog.Threads = append(prog.Threads, ops)
+		}
+
+		for _, cfg := range []struct {
+			machDelta uint64
+			mcDelta   int
+		}{
+			{0, 0},
+			{300, 40},
+		} {
+			exhaustive := mc.Explore(prog, cfg.mcDelta)
+
+			// Run the same program on the clocked machine over seeds
+			// and policies, collecting register outcomes.
+			for _, policy := range []tso.DrainPolicy{tso.DrainEager, tso.DrainRandom, tso.DrainAdversarial} {
+				for seed := int64(0); seed < 12; seed++ {
+					m := tso.New(tso.Config{Delta: cfg.machDelta, Policy: policy, Seed: seed})
+					base := m.AllocWords(vars)
+					results := make([][]int, 2)
+					for th := 0; th < 2; th++ {
+						ds := descs[th]
+						results[th] = make([]int, maxOps)
+						m.Spawn("t", func(thd *tso.Thread) {
+							for _, d := range ds {
+								if d.isStore {
+									thd.Store(base+tso.Addr(d.addr), tso.Word(d.val))
+								} else {
+									results[thd.ID()][d.reg] = int(thd.Load(base + tso.Addr(d.addr)))
+								}
+							}
+						})
+					}
+					if res := m.Run(); res.Err != nil {
+						t.Fatalf("prog=%d: machine run: %v", pi, res.Err)
+					}
+					// Canonicalize to the checker's outcome naming.
+					var parts []string
+					for th := 0; th < 2; th++ {
+						for r := 0; r < maxOps; r++ {
+							parts = append(parts, fmt.Sprintf("T%d:r%d=%d", th, r, results[th][r]))
+						}
+					}
+					key := joinSpace(parts)
+					if !exhaustive.Has(key) {
+						t.Fatalf("prog=%d policy=%v seed=%d machΔ=%d: sampled outcome %q not in exhaustive set (%d outcomes)",
+							pi, policy, seed, cfg.machDelta, key, len(exhaustive.Outcomes))
+					}
+				}
+			}
+		}
+	}
+}
+
+func joinSpace(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += " "
+		}
+		out += p
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package litmus
+
+import (
+	"testing"
+
+	"tbtso/internal/tso"
+)
+
+func TestSBUnfencedShowsReordering(t *testing.T) {
+	rep := Run(StoreBuffering(false), RunConfig{Seeds: 100, Delta: 0})
+	if len(rep.Errs) > 0 {
+		t.Fatalf("errors: %v", rep.Errs[0])
+	}
+	if rep.RelaxedN == 0 {
+		t.Fatal("unfenced SB never showed the 0/0 reordering — machine is too strong")
+	}
+}
+
+func TestSBFencedNeverBothZero(t *testing.T) {
+	rep := Run(StoreBuffering(true), RunConfig{Seeds: 150, Delta: 0})
+	if len(rep.Errs) > 0 {
+		t.Fatalf("errors: %v", rep.Errs[0])
+	}
+	if rep.ForbiddenSeen() {
+		t.Fatalf("fenced SB produced a forbidden outcome:\n%s", rep)
+	}
+}
+
+func TestMPForbiddenOnTSO(t *testing.T) {
+	for _, delta := range []uint64{0, 200} {
+		rep := Run(MessagePassing(), RunConfig{Seeds: 150, Delta: delta})
+		if len(rep.Errs) > 0 {
+			t.Fatalf("errors: %v", rep.Errs[0])
+		}
+		if rep.ForbiddenSeen() {
+			t.Fatalf("Δ=%d: MP forbidden outcome observed — store/store order broken:\n%s", delta, rep)
+		}
+	}
+}
+
+func TestCoherence(t *testing.T) {
+	rep := Run(Coherence(), RunConfig{Seeds: 150, Delta: 0})
+	if rep.ForbiddenSeen() {
+		t.Fatalf("coherence violated:\n%s", rep)
+	}
+}
+
+func TestTBTSOFlagPrincipleHolds(t *testing.T) {
+	// The paper's §3 claim: with Δ-bounded buffering, the fence-free
+	// asymmetric flag principle never lets both threads miss each
+	// other — across all drain policies, seeds, and stall probabilities.
+	for _, stall := range []float64{0, 0.3} {
+		rep := Run(TBTSOFlagPrinciple(), RunConfig{Seeds: 150, Delta: 100, StallProb: stall})
+		if len(rep.Errs) > 0 {
+			t.Fatalf("errors: %v", rep.Errs[0])
+		}
+		if rep.ForbiddenSeen() {
+			t.Fatalf("stall=%v: TBTSO flag principle violated:\n%s", stall, rep)
+		}
+	}
+}
+
+func TestTBTSOFlagPrincipleNeedsDelta(t *testing.T) {
+	// Same program on a plain-TSO machine: the adversarial policy must
+	// exhibit the 0/0 outcome, showing the Δ bound is what makes the
+	// fence-free principle sound. (T1's wait loop still terminates
+	// because Delta()==0 makes the deadline immediate.)
+	test := TBTSOFlagPrinciple()
+	test.Forbidden = nil
+	test.Relaxed = func(o Outcome) bool { return o["T0:saw1"] == 0 && o["T1:saw0"] == 0 }
+	rep := Run(test, RunConfig{
+		Seeds:    100,
+		Delta:    0,
+		Policies: []tso.DrainPolicy{tso.DrainAdversarial},
+	})
+	if len(rep.Errs) > 0 {
+		t.Fatalf("errors: %v", rep.Errs[0])
+	}
+	if rep.RelaxedN == 0 {
+		t.Fatal("0/0 never observed on plain TSO — the Δ bound is not what makes this sound?")
+	}
+}
+
+func TestFlagNoWaitFails(t *testing.T) {
+	// Removing the Δ wait from T1 re-breaks the principle even on a
+	// TBTSO machine, provided Δ is large enough for T1's read to race
+	// ahead of T0's drain.
+	rep := Run(FlagPrincipleNoWait(), RunConfig{
+		Seeds:    100,
+		Delta:    500,
+		Policies: []tso.DrainPolicy{tso.DrainAdversarial},
+	})
+	if len(rep.Errs) > 0 {
+		t.Fatalf("errors: %v", rep.Errs[0])
+	}
+	if rep.RelaxedN == 0 {
+		t.Fatal("expected 0/0 without the Δ wait")
+	}
+}
+
+func TestOnceReportsOutcome(t *testing.T) {
+	out, err := Once(StoreBuffering(true), tso.Config{Policy: tso.DrainEager, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("outcome has %d registers, want 2: %v", len(out), out)
+	}
+	if out.Key() == "" {
+		t.Fatal("empty outcome key")
+	}
+}
+
+func TestAllListsEveryTest(t *testing.T) {
+	all := All()
+	if len(all) != 14 {
+		t.Fatalf("All() returned %d tests, want 14", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.Test.Name == "" || seen[e.Test.Name] {
+			t.Fatalf("duplicate or empty test name %q", e.Test.Name)
+		}
+		seen[e.Test.Name] = true
+	}
+}

@@ -1,0 +1,177 @@
+package litmus
+
+import "tbtso/internal/tso"
+
+// StoreBuffering is the classic SB litmus test: each thread stores 1 to
+// its own flag and loads the other's. Under sequential consistency and
+// under the (symmetric, fenced) flag principle, r0=0 ∧ r1=0 is
+// impossible; under TSO it is observable.
+func StoreBuffering(fenced bool) Test {
+	name := "SB"
+	if fenced {
+		name = "SB+fences"
+	}
+	t := Test{
+		Name: name,
+		Doc:  "store buffering: Wx1;Ry || Wy1;Rx",
+		Vars: []string{"x", "y"},
+		Threads: []ThreadFn{
+			func(th *tso.Thread, e *Env) {
+				th.Store(e.Var("x"), 1)
+				if fenced {
+					th.Fence()
+				}
+				e.Set(0, "r", th.Load(e.Var("y")))
+			},
+			func(th *tso.Thread, e *Env) {
+				th.Store(e.Var("y"), 1)
+				if fenced {
+					th.Fence()
+				}
+				e.Set(1, "r", th.Load(e.Var("x")))
+			},
+		},
+		Relaxed: func(o Outcome) bool { return o["T0:r"] == 0 && o["T1:r"] == 0 },
+	}
+	if fenced {
+		t.Forbidden = func(o Outcome) bool { return o["T0:r"] == 0 && o["T1:r"] == 0 }
+	}
+	return t
+}
+
+// MessagePassing is the MP litmus test. TSO does not reorder stores
+// with stores or loads with loads, so r=1 ∧ d=0 is forbidden even
+// without fences — on TSO and TBTSO alike.
+func MessagePassing() Test {
+	return Test{
+		Name: "MP",
+		Doc:  "message passing: Wd1;Wf1 || Rf;Rd — f=1,d=0 forbidden on TSO",
+		Vars: []string{"data", "flag"},
+		Threads: []ThreadFn{
+			func(th *tso.Thread, e *Env) {
+				th.Store(e.Var("data"), 1)
+				th.Store(e.Var("flag"), 1)
+			},
+			func(th *tso.Thread, e *Env) {
+				f := th.Load(e.Var("flag"))
+				d := th.Load(e.Var("data"))
+				e.Set(1, "f", f)
+				e.Set(1, "d", d)
+			},
+		},
+		Forbidden: func(o Outcome) bool { return o["T1:f"] == 1 && o["T1:d"] == 0 },
+	}
+}
+
+// Coherence checks per-location SC: two stores to the same variable by
+// one thread must be observed in order by another thread polling it.
+func Coherence() Test {
+	return Test{
+		Name: "CoRR",
+		Doc:  "coherence: Wx1;Wx2 || Rx;Rx — 2 then 1 forbidden",
+		Vars: []string{"x"},
+		Threads: []ThreadFn{
+			func(th *tso.Thread, e *Env) {
+				th.Store(e.Var("x"), 1)
+				th.Store(e.Var("x"), 2)
+			},
+			func(th *tso.Thread, e *Env) {
+				a := th.Load(e.Var("x"))
+				b := th.Load(e.Var("x"))
+				e.Set(1, "a", a)
+				e.Set(1, "b", b)
+			},
+		},
+		Forbidden: func(o Outcome) bool { return o["T1:a"] == 2 && o["T1:b"] == 1 },
+	}
+}
+
+// TBTSOFlagPrinciple is the paper's §3 asymmetric flag principle: T0
+// raises its flag with no fence; T1 raises its flag, fences, waits Δ
+// ticks, then reads T0's flag. The forbidden outcome is both threads
+// reading 0 ("neither saw the other"). It requires a machine with
+// Delta > 0; on a plain-TSO machine the forbidden outcome is observable
+// (see FlagPrincipleNoWait for the demonstration).
+func TBTSOFlagPrinciple() Test {
+	return Test{
+		Name: "TBTSO-flag",
+		Doc:  "asymmetric flag principle (§3): fence-free T0, Δ-waiting T1",
+		Vars: []string{"flag0", "flag1"},
+		Threads: []ThreadFn{
+			func(th *tso.Thread, e *Env) {
+				th.Store(e.Var("flag0"), 1)
+				// no fence
+				e.Set(0, "saw1", th.Load(e.Var("flag1")))
+			},
+			func(th *tso.Thread, e *Env) {
+				th.Store(e.Var("flag1"), 1)
+				th.Fence()
+				deadline := th.Clock() + e.Delta()
+				th.WaitUntil(deadline)
+				e.Set(1, "saw0", th.Load(e.Var("flag0")))
+			},
+		},
+		Forbidden: func(o Outcome) bool { return o["T0:saw1"] == 0 && o["T1:saw0"] == 0 },
+	}
+}
+
+// FlagPrincipleNoWait removes T1's Δ wait from the asymmetric flag
+// principle. The 0/0 outcome is then observable (the reason standard
+// hazard pointers need a fence), so the test is used with Relaxed to
+// demonstrate the failure rather than with Forbidden.
+func FlagPrincipleNoWait() Test {
+	return Test{
+		Name: "flag-no-wait",
+		Doc:  "asymmetric flag principle without the Δ wait — 0/0 observable",
+		Vars: []string{"flag0", "flag1"},
+		Threads: []ThreadFn{
+			func(th *tso.Thread, e *Env) {
+				th.Store(e.Var("flag0"), 1)
+				e.Set(0, "saw1", th.Load(e.Var("flag1")))
+			},
+			func(th *tso.Thread, e *Env) {
+				th.Store(e.Var("flag1"), 1)
+				th.Fence()
+				e.Set(1, "saw0", th.Load(e.Var("flag0")))
+			},
+		},
+		Relaxed: func(o Outcome) bool { return o["T0:saw1"] == 0 && o["T1:saw0"] == 0 },
+	}
+}
+
+// SymmetricFlagPrinciple is the original (fenced) flag principle from
+// §3, identical to SB+fences but named for the paper's presentation.
+func SymmetricFlagPrinciple() Test {
+	t := StoreBuffering(true)
+	t.Name = "flag-principle"
+	t.Doc = "symmetric flag principle: both threads fence before looking"
+	return t
+}
+
+// All returns every litmus test in the package, for the explorer CLI.
+// The bool reports whether the test needs a TBTSO (Delta > 0) machine
+// for its Forbidden predicate to be sound.
+func All() []struct {
+	Test       Test
+	NeedsDelta bool
+} {
+	return []struct {
+		Test       Test
+		NeedsDelta bool
+	}{
+		{StoreBuffering(false), false},
+		{StoreBuffering(true), false},
+		{SB3(), false},
+		{SBOneFence(), false},
+		{RMWFlushes(), false},
+		{TwoPlusTwoW(), false},
+		{MessagePassing(), false},
+		{LoadBuffering(), false},
+		{Coherence(), false},
+		{IRIW(), false},
+		{WRC(), false},
+		{SymmetricFlagPrinciple(), false},
+		{TBTSOFlagPrinciple(), true},
+		{FlagPrincipleNoWait(), false},
+	}
+}

@@ -1,0 +1,190 @@
+package litmus
+
+import "tbtso/internal/tso"
+
+// Additional litmus tests characterizing the machine's TSO-ness.
+
+// LoadBuffering is the LB test: Rx;Wy || Ry;Wx. The outcome
+// r0=1 ∧ r1=1 requires loads to be satisfied after program-order-later
+// stores, which TSO (and TBTSO) forbids.
+func LoadBuffering() Test {
+	return Test{
+		Name: "LB",
+		Doc:  "load buffering: Rx;Wy1 || Ry;Wx1 — 1/1 forbidden on TSO",
+		Vars: []string{"x", "y"},
+		Threads: []ThreadFn{
+			func(th *tso.Thread, e *Env) {
+				e.Set(0, "r", th.Load(e.Var("x")))
+				th.Store(e.Var("y"), 1)
+			},
+			func(th *tso.Thread, e *Env) {
+				e.Set(1, "r", th.Load(e.Var("y")))
+				th.Store(e.Var("x"), 1)
+			},
+		},
+		Forbidden: func(o Outcome) bool { return o["T0:r"] == 1 && o["T1:r"] == 1 },
+	}
+}
+
+// IRIW is independent-reads-of-independent-writes: two writers to
+// different variables, two readers observing them in opposite orders.
+// TSO is multi-copy atomic (a store becomes visible to all other
+// threads at once — when it leaves the buffer), so the opposite-order
+// outcome is forbidden.
+func IRIW() Test {
+	return Test{
+		Name: "IRIW",
+		Doc:  "independent reads of independent writes — opposite orders forbidden on TSO",
+		Vars: []string{"x", "y"},
+		Threads: []ThreadFn{
+			func(th *tso.Thread, e *Env) { th.Store(e.Var("x"), 1) },
+			func(th *tso.Thread, e *Env) { th.Store(e.Var("y"), 1) },
+			func(th *tso.Thread, e *Env) {
+				a := th.Load(e.Var("x"))
+				b := th.Load(e.Var("y"))
+				e.Set(2, "a", a)
+				e.Set(2, "b", b)
+			},
+			func(th *tso.Thread, e *Env) {
+				c := th.Load(e.Var("y"))
+				d := th.Load(e.Var("x"))
+				e.Set(3, "c", c)
+				e.Set(3, "d", d)
+			},
+		},
+		Forbidden: func(o Outcome) bool {
+			return o["T2:a"] == 1 && o["T2:b"] == 0 && o["T3:c"] == 1 && o["T3:d"] == 0
+		},
+	}
+}
+
+// SBOneFence is store buffering with a fence on ONLY one side: the
+// relaxed 0/0 outcome remains observable, which is why the asymmetric
+// flag principle needs the Δ wait and not merely one thread fencing.
+func SBOneFence() Test {
+	return Test{
+		Name: "SB+onefence",
+		Doc:  "SB with a fence only on T1 — 0/0 still observable",
+		Vars: []string{"x", "y"},
+		Threads: []ThreadFn{
+			func(th *tso.Thread, e *Env) {
+				th.Store(e.Var("x"), 1)
+				e.Set(0, "r", th.Load(e.Var("y")))
+			},
+			func(th *tso.Thread, e *Env) {
+				th.Store(e.Var("y"), 1)
+				th.Fence()
+				e.Set(1, "r", th.Load(e.Var("x")))
+			},
+		},
+		Relaxed: func(o Outcome) bool { return o["T0:r"] == 0 && o["T1:r"] == 0 },
+	}
+}
+
+// RMWFlushes checks that an atomic read-modify-write acts as a fence:
+// SB where each thread's "fence" is a CAS to a private scratch word.
+func RMWFlushes() Test {
+	return Test{
+		Name: "SB+rmw",
+		Doc:  "SB with atomic RMWs in place of fences — 0/0 forbidden",
+		Vars: []string{"x", "y", "s0", "s1"},
+		Threads: []ThreadFn{
+			func(th *tso.Thread, e *Env) {
+				th.Store(e.Var("x"), 1)
+				th.CAS(e.Var("s0"), 0, 1)
+				e.Set(0, "r", th.Load(e.Var("y")))
+			},
+			func(th *tso.Thread, e *Env) {
+				th.Store(e.Var("y"), 1)
+				th.CAS(e.Var("s1"), 0, 1)
+				e.Set(1, "r", th.Load(e.Var("x")))
+			},
+		},
+		Forbidden: func(o Outcome) bool { return o["T0:r"] == 0 && o["T1:r"] == 0 },
+	}
+}
+
+// WRC is write-read causality: T0 writes x; T1 reads x then writes y;
+// T2 reads y then x. Seeing y=1 but x=0 would break causality, which
+// TSO forbids.
+func WRC() Test {
+	return Test{
+		Name: "WRC",
+		Doc:  "write-read causality: y=1 ∧ x=0 at T2 forbidden on TSO",
+		Vars: []string{"x", "y"},
+		Threads: []ThreadFn{
+			func(th *tso.Thread, e *Env) { th.Store(e.Var("x"), 1) },
+			func(th *tso.Thread, e *Env) {
+				if th.Load(e.Var("x")) == 1 {
+					th.Store(e.Var("y"), 1)
+				}
+			},
+			func(th *tso.Thread, e *Env) {
+				a := th.Load(e.Var("y"))
+				b := th.Load(e.Var("x"))
+				e.Set(2, "y", a)
+				e.Set(2, "x", b)
+			},
+		},
+		Forbidden: func(o Outcome) bool { return o["T2:y"] == 1 && o["T2:x"] == 0 },
+	}
+}
+
+// SB3 is a three-thread store-buffering variant: each thread stores to
+// its own variable and reads its neighbor's. All-zero requires every
+// store to be buffered past every read — legal on TSO, gone under a
+// tight bound.
+func SB3() Test {
+	mk := func(me int) ThreadFn {
+		return func(th *tso.Thread, e *Env) {
+			vars := []string{"x", "y", "z"}
+			th.Store(e.Var(vars[me]), 1)
+			e.Set(me, "r", th.Load(e.Var(vars[(me+1)%3])))
+		}
+	}
+	return Test{
+		Name:    "SB3",
+		Doc:     "three-thread store buffering ring — 0/0/0 observable on TSO",
+		Vars:    []string{"x", "y", "z"},
+		Threads: []ThreadFn{mk(0), mk(1), mk(2)},
+		Relaxed: func(o Outcome) bool {
+			return o["T0:r"] == 0 && o["T1:r"] == 0 && o["T2:r"] == 0
+		},
+	}
+}
+
+// TwoPlusTwoW is the 2+2W litmus test: two threads write both
+// variables in opposite orders. The final state x=1 ∧ y=1 needs each
+// thread's FIRST write to land last at its address, which with FIFO
+// buffers forms a cycle (y2<y1<x2<x1<y2) — forbidden on TSO. An
+// observer thread reads the final state after both writers fence.
+func TwoPlusTwoW() Test {
+	return Test{
+		Name: "2+2W",
+		Doc:  "2+2W: Wx1;Wy2 || Wy1;Wx2 — final x=1,y=1 forbidden on TSO",
+		Vars: []string{"x", "y"},
+		Threads: []ThreadFn{
+			func(th *tso.Thread, e *Env) {
+				th.Store(e.Var("x"), 1)
+				th.Store(e.Var("y"), 2)
+				th.Fence()
+			},
+			func(th *tso.Thread, e *Env) {
+				th.Store(e.Var("y"), 1)
+				th.Store(e.Var("x"), 2)
+				th.Fence()
+			},
+			func(th *tso.Thread, e *Env) {
+				// Observe the final state after both writers fence.
+				for th.Load(e.Var("x")) == 0 || th.Load(e.Var("y")) == 0 {
+				}
+				for i := 0; i < 200; i++ {
+					th.Yield() // let the writers finish completely
+				}
+				e.Set(2, "x", th.Load(e.Var("x")))
+				e.Set(2, "y", th.Load(e.Var("y")))
+			},
+		},
+		Forbidden: func(o Outcome) bool { return o["T2:x"] == 1 && o["T2:y"] == 1 },
+	}
+}

@@ -1,0 +1,31 @@
+package lock_test
+
+import (
+	"fmt"
+	"time"
+
+	"tbtso/internal/core"
+	"tbtso/internal/lock"
+)
+
+// The fence-free biased lock: the owner's acquisition is a store and a
+// load — no fence, no atomic read-modify-write. A non-owner serializes
+// on the internal lock and waits out the visibility bound (or the
+// owner's echo).
+func ExampleNewFFBL() {
+	lk := lock.NewFFBL(core.NewFixedDelta(500*time.Microsecond), true)
+
+	// Owner fast path.
+	lk.OwnerLock()
+	fmt.Println("owner in critical section")
+	lk.OwnerUnlock()
+
+	// A non-owner: waits at most ~Δ even if the owner never runs again.
+	start := time.Now()
+	lk.OtherLock()
+	fmt.Println("non-owner acquired, bounded wait:", time.Since(start) < 100*time.Millisecond)
+	lk.OtherUnlock()
+	// Output:
+	// owner in critical section
+	// non-owner acquired, bounded wait: true
+}

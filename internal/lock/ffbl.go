@@ -1,0 +1,112 @@
+package lock
+
+import (
+	"runtime"
+
+	"tbtso/internal/core"
+	"tbtso/internal/fence"
+	"tbtso/internal/vclock"
+)
+
+// FFBL is the fence-free biased lock of Figure 3 (bottom): the owner's
+// fast path is one store and one load with no fence and no atomic
+// read-modify-write; the non-owner serializes on L, raises a versioned
+// flag, fences, and waits out the visibility bound — or, with echoing
+// enabled, stops waiting as soon as the owner echoes its version.
+//
+// The bound is pluggable (core.Bound): a FixedDelta of 0.5 ms gives the
+// paper's TBTSO hardware variant, a TickBoard gives the §6.2 adapted
+// [4 ms] variant, and the comparison between them is Figure 8's
+// FFBL[0.5ms] vs FFBL[4ms].
+type FFBL struct {
+	flag0 paddedU64 // owner's <version,flag>
+	flag1 paddedU64 // non-owners' <version,flag>
+	l     TTAS
+	fen1  fence.Line
+	bound core.Bound
+	echo  bool
+	name  string
+}
+
+// NewFFBL creates a fence-free biased lock over the given bound.
+func NewFFBL(bound core.Bound, echo bool) *FFBL {
+	name := "FFBL[" + bound.Name() + "]"
+	if !echo {
+		name += "-noecho"
+	}
+	return &FFBL{bound: bound, echo: echo, name: name}
+}
+
+// Name implements BiasedLock.
+func (b *FFBL) Name() string { return b.name }
+
+// OwnerLock implements BiasedLock (Figure 3f). The fast path — the
+// whole point of the algorithm — is the first two lines: raise flag0,
+// look at flag1, and enter. No fence separates them; on TBTSO the Δ
+// bound (embodied in the non-owner's wait) makes that safe.
+func (b *FFBL) OwnerLock() {
+	b.flag0.v.Store(packFlag(0, 1))
+	// no fence
+	if _, f := unpackFlag(b.flag1.v.Load()); f == 0 {
+		return // fast path: in the critical section with flag0.f = 1
+	}
+	for spins := 0; ; spins++ {
+		v1, _ := unpackFlag(b.flag1.v.Load())
+		if b.echo {
+			b.flag0.v.Store(packFlag(v1, 0)) // lower + echo (lines 59–63)
+		} else {
+			b.flag0.v.Store(packFlag(0, 0))
+		}
+		if b.l.TryLock() {
+			return // in the critical section holding L, flag0.f = 0
+		}
+		if spins%8 == 7 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// OwnerUnlock implements BiasedLock (Figure 3g).
+func (b *FFBL) OwnerUnlock() {
+	if _, f := unpackFlag(b.flag0.v.Load()); f == 1 {
+		b.flag0.v.Store(packFlag(0, 0))
+	} else {
+		b.flag0.v.Store(packFlag(0, 0))
+		b.l.Unlock()
+	}
+}
+
+// OtherLock implements BiasedLock (Figure 3h).
+func (b *FFBL) OtherLock() {
+	b.l.Lock()
+	v1, _ := unpackFlag(b.flag1.v.Load())
+	myV := v1 + 1
+	b.flag1.v.Store(packFlag(myV, 1))
+	b.fen1.Full()
+	t0 := vclock.Now()
+	for spins := 0; !b.bound.Eligible(t0); spins++ {
+		if b.echo {
+			if v0, _ := unpackFlag(b.flag0.v.Load()); v0 == myV {
+				break // owner echoed: it is spinning on L, not in the CS
+			}
+		}
+		if spins%16 == 15 {
+			runtime.Gosched()
+		}
+	}
+	for spins := 0; ; spins++ {
+		if _, f := unpackFlag(b.flag0.v.Load()); f == 0 {
+			return
+		}
+		if spins%16 == 15 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// OtherUnlock implements BiasedLock (Figure 3h's unlock).
+func (b *FFBL) OtherUnlock() {
+	v1, _ := unpackFlag(b.flag1.v.Load())
+	b.flag1.v.Store(packFlag(v1+1, 0))
+	b.l.Unlock()
+}

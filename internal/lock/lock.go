@@ -1,0 +1,149 @@
+// Package lock implements the biased locks of §5 natively, plus the
+// baselines the evaluation compares against (§7.2): the standard
+// "pthread" lock (Go's sync.Mutex playing that role), a TTAS spinlock
+// used as the internal lock L, the basic fenced biased lock (Figure 3
+// top), the fence-free biased lock FFBL (Figure 3 bottom) with and
+// without echoing, and a safe-point-based biased lock in the style of
+// Russell and Detlefs [33].
+//
+// A BiasedLock distinguishes the designated owner thread (OwnerLock /
+// OwnerUnlock) from all other threads (OtherLock / OtherUnlock);
+// non-owners serialize on the internal lock L, so any number of them
+// may call the Other methods concurrently.
+package lock
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"tbtso/internal/fence"
+)
+
+// BiasedLock is a lock biased toward one designated owner thread.
+type BiasedLock interface {
+	Name() string
+	OwnerLock()
+	OwnerUnlock()
+	OtherLock()
+	OtherUnlock()
+}
+
+// Pthread adapts sync.Mutex to the BiasedLock interface: both paths are
+// the same standard lock, the evaluation's normalization baseline.
+type Pthread struct {
+	mu sync.Mutex
+}
+
+// NewPthread returns the standard-lock baseline.
+func NewPthread() *Pthread { return &Pthread{} }
+
+// Name implements BiasedLock.
+func (p *Pthread) Name() string { return "pthread" }
+
+// OwnerLock implements BiasedLock.
+func (p *Pthread) OwnerLock() { p.mu.Lock() }
+
+// OwnerUnlock implements BiasedLock.
+func (p *Pthread) OwnerUnlock() { p.mu.Unlock() }
+
+// OtherLock implements BiasedLock.
+func (p *Pthread) OtherLock() { p.mu.Lock() }
+
+// OtherUnlock implements BiasedLock.
+func (p *Pthread) OtherUnlock() { p.mu.Unlock() }
+
+// TTAS is a test-and-test-and-set spinlock with Gosched backoff, used
+// as the internal lock L of the biased locks.
+type TTAS struct {
+	v atomic.Uint32
+	_ [fence.CacheLine - 4]byte
+}
+
+// TryLock attempts one acquisition.
+func (t *TTAS) TryLock() bool {
+	return t.v.Load() == 0 && t.v.CompareAndSwap(0, 1)
+}
+
+// Lock spins until acquired.
+func (t *TTAS) Lock() {
+	for spins := 0; ; spins++ {
+		if t.TryLock() {
+			return
+		}
+		if spins%16 == 15 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Unlock releases the lock.
+func (t *TTAS) Unlock() {
+	t.v.Store(0)
+}
+
+// paddedU64 is an atomic word on its own cache line (the flags of the
+// biased locks live on separate lines, as the paper's C code arranges).
+type paddedU64 struct {
+	v atomic.Uint64
+	_ [fence.CacheLine - 8]byte
+}
+
+// Flag packing for the FFBL (Figure 3e): 63-bit version, flag in bit 0.
+func packFlag(v, f uint64) uint64 { return v<<1 | f&1 }
+
+func unpackFlag(w uint64) (v, f uint64) { return w >> 1, w & 1 }
+
+// BaselineBiased is the basic (fenced) biased lock of Figure 3 top: the
+// owner's acquisition is a store, an explicit full fence, and a load —
+// no atomic read-modify-write — while non-owners serialize on L.
+type BaselineBiased struct {
+	flag0 paddedU64
+	flag1 paddedU64
+	l     TTAS
+	fen   fence.Line
+	fen1  fence.Line
+}
+
+// NewBaselineBiased returns the fenced baseline.
+func NewBaselineBiased() *BaselineBiased { return &BaselineBiased{} }
+
+// Name implements BiasedLock.
+func (b *BaselineBiased) Name() string { return "biased-fenced" }
+
+// OwnerLock implements BiasedLock (Figure 3b).
+func (b *BaselineBiased) OwnerLock() {
+	b.flag0.v.Store(1)
+	b.fen.Full()
+	if b.flag1.v.Load() != 0 {
+		b.flag0.v.Store(0)
+		b.l.Lock()
+	}
+}
+
+// OwnerUnlock implements BiasedLock (Figure 3c).
+func (b *BaselineBiased) OwnerUnlock() {
+	if b.flag0.v.Load() != 0 {
+		b.flag0.v.Store(0)
+	} else {
+		b.l.Unlock()
+	}
+}
+
+// OtherLock implements BiasedLock (Figure 3d).
+func (b *BaselineBiased) OtherLock() {
+	b.l.Lock()
+	b.flag1.v.Store(1)
+	b.fen1.Full()
+	for spins := 0; b.flag0.v.Load() != 0; spins++ {
+		if spins%16 == 15 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// OtherUnlock implements BiasedLock (Figure 3d).
+func (b *BaselineBiased) OtherUnlock() {
+	b.flag1.v.Store(0)
+	b.l.Unlock()
+}

@@ -1,0 +1,144 @@
+package lock
+
+import (
+	"runtime"
+
+	"tbtso/internal/fence"
+)
+
+// Bias states of the safe-point lock, packed with the waiter count into
+// a single word: mode in bits [0,2), waiter count in bits [2,64).
+const (
+	spBiased   uint64 = iota // owner may use the fast path
+	spRevoking               // a non-owner requested revocation
+	spUnbiased               // owner acknowledged; everyone uses L
+)
+
+func spPack(mode, count uint64) uint64 { return count<<2 | mode }
+
+func spUnpack(w uint64) (mode, count uint64) { return w & 3, w >> 2 }
+
+// SafePointBiased is a biased lock in the style of Russell and Detlefs
+// [33]: the owner's fast path uses plain stores and loads with no
+// atomic read-modify-write; a non-owner acquires by *revoking* the
+// bias — it requests revocation and blocks until the owner reaches a
+// safe point outside its critical section and acknowledges. While the
+// bias is suspended both sides use the internal lock L; the last
+// non-owner to release re-biases the lock to the owner. Mode and
+// waiter count live in one word so the re-bias decision is atomic with
+// respect to arriving non-owners.
+//
+// The defining weakness the paper exploits (Figure 8's last pattern):
+// if the owner is scheduled out or computing for a long time, it
+// reaches no safe point, so the non-owner blocks for the whole stall —
+// whereas FFBL's non-owner waits at most the visibility bound.
+//
+// The evaluation assumes the owner reaches a safe point immediately on
+// exiting the critical section (§7.2); accordingly OwnerUnlock doubles
+// as a safe point, and workloads may call SafePoint at additional
+// cooperative points.
+type SafePointBiased struct {
+	state paddedU64 // packed (mode, waiter count)
+	inCS  paddedU64 // owner's fast-path flag; plain store/load
+	l     TTAS
+	fen   fence.Line
+}
+
+// NewSafePointBiased returns a safe-point biased lock.
+func NewSafePointBiased() *SafePointBiased { return &SafePointBiased{} }
+
+// Name implements BiasedLock.
+func (s *SafePointBiased) Name() string { return "safepoint" }
+
+// OwnerLock implements BiasedLock: with the bias intact it is a plain
+// store and load; otherwise the owner acknowledges any pending
+// revocation and falls back to L.
+func (s *SafePointBiased) OwnerLock() {
+	if mode, _ := spUnpack(s.state.v.Load()); mode == spBiased {
+		s.inCS.v.Store(1)
+		// no fence — the revoker waits for a safe point instead.
+		if mode, _ := spUnpack(s.state.v.Load()); mode == spBiased {
+			return // fast path
+		}
+		// A revocation raced in: back out and acknowledge.
+		s.inCS.v.Store(0)
+	}
+	s.SafePoint()
+	s.l.Lock()
+}
+
+// OwnerUnlock implements BiasedLock and is itself a safe point.
+func (s *SafePointBiased) OwnerUnlock() {
+	if s.inCS.v.Load() != 0 {
+		s.inCS.v.Store(0)
+		s.SafePoint()
+		return
+	}
+	s.l.Unlock()
+	s.SafePoint()
+}
+
+// SafePoint is a cooperative point at which the owner (and only the
+// owner) services pending revocations. The owner must be outside any
+// critical section.
+func (s *SafePointBiased) SafePoint() {
+	for {
+		w := s.state.v.Load()
+		mode, count := spUnpack(w)
+		if mode != spRevoking {
+			return
+		}
+		if s.state.v.CompareAndSwap(w, spPack(spUnbiased, count)) {
+			s.fen.Full()
+			return
+		}
+	}
+}
+
+// OtherLock implements BiasedLock: register as a waiter (requesting
+// revocation if the bias is intact), wait for the owner's safe point,
+// then take L.
+func (s *SafePointBiased) OtherLock() {
+	for {
+		w := s.state.v.Load()
+		mode, count := spUnpack(w)
+		next := mode
+		if mode == spBiased {
+			next = spRevoking
+		}
+		if s.state.v.CompareAndSwap(w, spPack(next, count+1)) {
+			break
+		}
+	}
+	// Block until the owner parks the bias. If the owner never runs,
+	// this waits for the whole stall — the cost Figure 8 shows for
+	// safe-point locks.
+	for spins := 0; ; spins++ {
+		if mode, _ := spUnpack(s.state.v.Load()); mode == spUnbiased {
+			break
+		}
+		if spins%16 == 15 {
+			runtime.Gosched()
+		}
+	}
+	s.l.Lock()
+}
+
+// OtherUnlock implements BiasedLock: if this was the last waiting
+// non-owner, atomically re-bias to the owner; then release L.
+func (s *SafePointBiased) OtherUnlock() {
+	for {
+		w := s.state.v.Load()
+		mode, count := spUnpack(w)
+		var next uint64
+		if count == 1 && mode == spUnbiased {
+			next = spPack(spBiased, 0)
+		} else {
+			next = spPack(mode, count-1)
+		}
+		if s.state.v.CompareAndSwap(w, next) {
+			break
+		}
+	}
+	s.l.Unlock()
+}

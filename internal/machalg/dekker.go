@@ -1,0 +1,46 @@
+package machalg
+
+import "tbtso/internal/tso"
+
+// Dekker is Dekker's two-thread mutual exclusion algorithm [12], the
+// other classic flag-principle algorithm §1 cites. Like Peterson's, it
+// needs a fence between raising the flag and reading the other's flag
+// on TSO; the unfenced variant exists for the demonstration.
+type Dekker struct {
+	flags  tso.Addr // flags+0, flags+1
+	turn   tso.Addr
+	fenced bool
+}
+
+// NewDekker allocates the algorithm's shared words.
+func NewDekker(m *tso.Machine, fenced bool) *Dekker {
+	return &Dekker{flags: m.AllocWords(2), turn: m.AllocWords(1), fenced: fenced}
+}
+
+// Lock enters the critical section as thread me (0 or 1).
+func (d *Dekker) Lock(th *tso.Thread, me int) {
+	other := 1 - me
+	th.Store(d.flags+tso.Addr(me), 1)
+	if d.fenced {
+		th.Fence()
+	}
+	for th.Load(d.flags+tso.Addr(other)) != 0 {
+		if th.Load(d.turn) != tso.Word(me) {
+			// Not our turn: back off until it is, then re-raise.
+			th.Store(d.flags+tso.Addr(me), 0)
+			for th.Load(d.turn) != tso.Word(me) {
+				th.Yield()
+			}
+			th.Store(d.flags+tso.Addr(me), 1)
+			if d.fenced {
+				th.Fence()
+			}
+		}
+	}
+}
+
+// Unlock leaves the critical section, passing the turn.
+func (d *Dekker) Unlock(th *tso.Thread, me int) {
+	th.Store(d.turn, tso.Word(1-me))
+	th.Store(d.flags+tso.Addr(me), 0)
+}

@@ -1,0 +1,59 @@
+package machalg
+
+import (
+	"testing"
+
+	"tbtso/internal/tso"
+)
+
+// runDekker drives both threads through iters acquisitions. delta
+// matters for LIVENESS here, not just safety: Dekker's backoff store
+// (flag[me] := 0) has no fence after it, so under unbounded adversarial
+// drains it never commits and the other thread spins forever — the Δ
+// bound is what guarantees it lands. (Fenced soundness tests therefore
+// run on a TBTSO machine; the unfenced-failure demo runs on plain TSO,
+// where the violation occurs before any livelock matters.)
+func runDekker(seed int64, delta uint64, fenced bool, iters, csWork int) (*csRecorder, tso.Result) {
+	m := tso.New(tso.Config{Delta: delta, Policy: tso.DrainAdversarial, Seed: seed, MaxTicks: 4_000_000})
+	d := NewDekker(m, fenced)
+	rec := &csRecorder{}
+	for me := 0; me < 2; me++ {
+		m.Spawn("d", func(th *tso.Thread) {
+			for i := 0; i < iters; i++ {
+				d.Lock(th, me)
+				enter := th.Clock()
+				for k := 0; k < csWork; k++ {
+					th.Yield()
+				}
+				rec.add(enter, th.Clock())
+				d.Unlock(th, me)
+				th.Yield()
+			}
+			th.Fence()
+		})
+	}
+	res := m.Run()
+	return rec, res
+}
+
+func TestDekkerFencedSound(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rec, res := runDekker(seed, 1000, true, 20, 8)
+		if res.Err != nil {
+			t.Fatalf("seed=%d: %v", seed, res.Err)
+		}
+		if a, b, bad := rec.overlap(); bad {
+			t.Fatalf("seed=%d: fenced Dekker overlapped: %v %v", seed, a, b)
+		}
+	}
+}
+
+func TestDekkerUnfencedFails(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rec, _ := runDekker(seed, 0, false, 20, 8)
+		if _, _, bad := rec.overlap(); bad {
+			return
+		}
+	}
+	t.Fatal("unfenced Dekker never violated mutual exclusion on adversarial TSO")
+}

@@ -1,0 +1,52 @@
+package machalg
+
+import "testing"
+
+// The demo entry points power `tbtso-sim -demo ...`; pin their
+// outcomes so the CLI's story stays true.
+
+func TestReclaimRaceDemoMatrix(t *testing.T) {
+	cases := []struct {
+		delta   uint64
+		mode    HPMode
+		wantUAF bool
+	}{
+		{0, HPFenced, false},
+		{0, HPUnsafe, true},
+		{400, HPUnsafe, true},
+		{0, HPFenceFree, true},
+		{400, HPFenceFree, false},
+	}
+	for _, tc := range cases {
+		out := ReclaimRaceDemo(tc.delta, tc.mode)
+		if out.Err != nil {
+			t.Fatalf("Δ=%d mode=%v: %v", tc.delta, tc.mode, out.Err)
+		}
+		if out.UseAfterFree != tc.wantUAF {
+			t.Fatalf("Δ=%d mode=%v: UAF=%v want %v", tc.delta, tc.mode, out.UseAfterFree, tc.wantUAF)
+		}
+	}
+}
+
+func TestDequeDemoMatrix(t *testing.T) {
+	if out := DequeDemo(0, 0, false, 60); out.Duplicated == 0 && out.Lost == 0 {
+		t.Fatal("waitless steal on plain TSO reported clean")
+	}
+	if out := DequeDemo(0, 2, false, 60); out.Duplicated == 0 && out.Lost == 0 {
+		t.Fatal("waitless steal under TSO[S] reported clean")
+	}
+	if out := DequeDemo(200, 0, true, 8); out.Duplicated != 0 || out.Lost != 0 {
+		t.Fatalf("Δ-waiting steal on TBTSO reported %d dup / %d lost", out.Duplicated, out.Lost)
+	}
+}
+
+func TestHPModeStrings(t *testing.T) {
+	for _, m := range []HPMode{HPFenced, HPFenceFree, HPUnsafe, HPAdapted} {
+		if m.String() == "" {
+			t.Fatalf("mode %d has empty name", int(m))
+		}
+	}
+	if HPMode(99).String() == "" {
+		t.Fatal("unknown mode should still render")
+	}
+}

@@ -1,0 +1,112 @@
+package machalg
+
+import "tbtso/internal/tso"
+
+// Deque is a Chase-Lev-style work-stealing deque whose owner fast path
+// (push/take) is fence-free, with correctness recovered by making the
+// thief's steal — the slow path — wait out the Δ bound between reading
+// top and reading bottom. This is the application §8 points at when
+// contrasting TBTSO with the spatially bounded TSO[S] of [29]:
+// "fence-free work stealing algorithms based on TSO[S] require either
+// relaxed semantics or blocking. In contrast, TBTSO's temporal
+// reordering bound facilitates nonblocking synchronization."
+//
+// Why the Δ wait restores the classic algorithm's fence: suppose a
+// thief steals item x (its CAS moves top from x to x+1 at time T) and
+// the owner also fast-takes x. The owner's fast path requires its top
+// load — which follows its bottom:=x store at time S — to return a
+// value < x. The thief read bottom at T_b ≥ T_t+Δ and saw bottom > x,
+// so the owner's store was not yet visible: S+Δ > T_b, hence S > T_t.
+// But at T_t top already equaled x, and top is monotone, so the owner's
+// later load must return ≥ x — contradiction. At most one of them gets
+// item x.
+type Deque struct {
+	top    tso.Addr
+	bottom tso.Addr
+	items  tso.Addr
+	cap    tso.Word
+	delta  uint64
+	// waitDelta disabled reproduces the unsound variant (sound only
+	// with a fence in take, which this deque deliberately omits).
+	waitDelta bool
+}
+
+// NewDeque allocates a deque with the given capacity in machine memory.
+// delta is the machine's Δ bound; waitDelta selects whether steals wait
+// it out (the sound TBTSO protocol) or not (the unsound demonstration).
+func NewDeque(m *tso.Machine, capacity int, delta uint64, waitDelta bool) *Deque {
+	return &Deque{
+		top:       m.AllocWords(1),
+		bottom:    m.AllocWords(1),
+		items:     m.AllocWords(capacity),
+		cap:       tso.Word(capacity),
+		delta:     delta,
+		waitDelta: waitDelta,
+	}
+}
+
+func (d *Deque) slot(i tso.Word) tso.Addr {
+	return d.items + tso.Addr(i%d.cap)
+}
+
+// Push adds v at the bottom (owner only). It reports false when the
+// deque is full. Plain stores only — no fence, no atomics.
+func (d *Deque) Push(th *tso.Thread, v tso.Word) bool {
+	b := th.Load(d.bottom) // forwarded from own buffer if pending
+	t := th.Load(d.top)
+	if b-t >= d.cap {
+		return false
+	}
+	th.Store(d.slot(b), v)
+	th.Store(d.bottom, b+1)
+	return true
+}
+
+// Take removes the most recently pushed item (owner only). The common
+// case is two plain stores and two loads with no fence between the
+// bottom store and the top load — the paper's fast path shape.
+func (d *Deque) Take(th *tso.Thread) (tso.Word, bool) {
+	b := th.Load(d.bottom) - 1
+	th.Store(d.bottom, b)
+	t := th.Load(d.top)
+	// no fence (the whole point)
+	if b != t && b-t < d.cap { // b > t without wraparound headaches
+		return th.Load(d.slot(b)), true
+	}
+	if b == t {
+		// Last item: race the thieves for it.
+		won := th.CAS(d.top, t, t+1)
+		th.Store(d.bottom, t+1)
+		if won {
+			return th.Load(d.slot(b)), true
+		}
+		return 0, false
+	}
+	// Deque was already empty.
+	th.Store(d.bottom, t)
+	return 0, false
+}
+
+// Steal takes the oldest item (any thread). The sound protocol reads
+// top, waits Δ ticks so every owner store older than the top read is
+// visible, and only then reads bottom.
+func (d *Deque) Steal(th *tso.Thread) (tso.Word, bool) {
+	t := th.Load(d.top)
+	if d.waitDelta {
+		th.WaitUntil(th.Clock() + d.delta)
+	}
+	b := th.Load(d.bottom)
+	if b-t == 0 || b-t >= 1<<62 { // empty (b <= t, allowing transient b = t-1)
+		return 0, false
+	}
+	v := th.Load(d.slot(t))
+	if th.CAS(d.top, t, t+1) {
+		return v, true
+	}
+	return 0, false
+}
+
+// Size reports bottom-top as seen from memory. Quiescent use only.
+func (d *Deque) Size(m *tso.Machine) int {
+	return int(m.PeekWord(d.bottom)) - int(m.PeekWord(d.top))
+}

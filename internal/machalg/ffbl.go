@@ -1,0 +1,215 @@
+package machalg
+
+import "tbtso/internal/tso"
+
+// SpinLock is a test-and-set lock in machine memory, used as the
+// internal lock L of the biased locks (Figure 3's "standard lock").
+type SpinLock struct {
+	word tso.Addr
+}
+
+// NewSpinLock allocates the lock word.
+func NewSpinLock(m *tso.Machine) *SpinLock {
+	return &SpinLock{word: m.AllocWords(1)}
+}
+
+// TryLock attempts one acquisition.
+func (s *SpinLock) TryLock(th *tso.Thread) bool {
+	return th.CAS(s.word, 0, 1)
+}
+
+// Lock spins until acquired.
+func (s *SpinLock) Lock(th *tso.Thread) {
+	for !th.CAS(s.word, 0, 1) {
+	}
+}
+
+// Unlock releases with a plain store, as x86 spinlocks do; the store
+// becomes visible when it drains (within Δ on TBTSO).
+func (s *SpinLock) Unlock(th *tso.Thread) {
+	th.Store(s.word, 0)
+}
+
+// Flag packing for the FFBL (Figure 3e): 63-bit version v, flag bit f
+// in bit 0.
+func packFlag(v tso.Word, f tso.Word) tso.Word { return v<<1 | (f & 1) }
+
+func unpackFlag(w tso.Word) (v, f tso.Word) { return w >> 1, w & 1 }
+
+// FFBL is the fence-free biased lock of Figure 3 (bottom row) expressed
+// as machine programs. The owner's lock() issues no fence and no atomic
+// operation on the fast path; the non-owner serializes behind the
+// internal lock L, raises its versioned flag, fences, and waits either
+// Δ ticks or for the owner's echo.
+//
+// With Echo disabled the non-owner always waits the full Δ, which is
+// the ablation Figure 8 evaluates. On a machine with Delta == 0 (plain
+// TSO) the Δ wait degenerates to nothing and the lock is unsound —
+// tests use that to demonstrate why the bound matters.
+type FFBL struct {
+	flag0, flag1 tso.Addr
+	l            *SpinLock
+	delta        uint64
+	echo         bool
+	// §6.2 adapted variant: wait for every entry of the OS time array
+	// A to pass the fence time instead of waiting Δ.
+	board   tso.Addr
+	threads int
+}
+
+// NewFFBL allocates the lock's shared variables. delta must be the
+// machine's Δ bound (in ticks).
+func NewFFBL(m *tso.Machine, delta uint64, echo bool) *FFBL {
+	return &FFBL{
+		flag0: m.AllocWords(1),
+		flag1: m.AllocWords(1),
+		l:     NewSpinLock(m),
+		delta: delta,
+		echo:  echo,
+	}
+}
+
+// NewFFBLAdapted allocates the §6.2 adapted variant: the non-owner
+// establishes visibility from the time array A at `board` (the
+// machine's Config.TickBoard, threads entries) instead of a Δ bound.
+// Sound on a plain-TSO machine with TickPeriod set.
+func NewFFBLAdapted(m *tso.Machine, board tso.Addr, threads int, echo bool) *FFBL {
+	return &FFBL{
+		flag0:   m.AllocWords(1),
+		flag1:   m.AllocWords(1),
+		l:       NewSpinLock(m),
+		echo:    echo,
+		board:   board,
+		threads: threads,
+	}
+}
+
+// boundPassed reports whether every store performed at or before t0 is
+// now globally visible, per the lock's configured bound.
+func (b *FFBL) boundPassed(th *tso.Thread, t0 uint64) bool {
+	if b.board != 0 {
+		for i := 0; i < b.threads; i++ {
+			if uint64(th.Load(b.board+tso.Addr(i))) <= t0 {
+				return false
+			}
+		}
+		return true
+	}
+	return th.Clock() > t0+b.delta
+}
+
+// OwnerLock is Figure 3f: raise flag0 with no fence; if flag1 is down,
+// enter immediately (the common case). Otherwise lower flag0 — echoing
+// flag1's version so the non-owner can cut its Δ wait short — and spin
+// on trylock(L).
+func (b *FFBL) OwnerLock(th *tso.Thread) {
+	th.Store(b.flag0, packFlag(0, 1))
+	// no fence (the whole point)
+	if _, f := unpackFlag(th.Load(b.flag1)); f == 0 {
+		return // fast path: critical section entered with flag0.f = 1
+	}
+	for {
+		v1, _ := unpackFlag(th.Load(b.flag1))
+		if b.echo {
+			th.Store(b.flag0, packFlag(v1, 0)) // lower + echo (Lines 59–63)
+		} else {
+			th.Store(b.flag0, packFlag(0, 0)) // lower only
+		}
+		// The trylock's atomic operation drains the buffered echo, so
+		// echoes reach memory much faster than Δ (§6.1.2).
+		if b.l.TryLock(th) {
+			return // critical section entered holding L, flag0.f = 0
+		}
+	}
+}
+
+// OwnerUnlock is Figure 3g: branch on flag0.f (read through the store
+// buffer, so the owner sees its own latest write).
+func (b *FFBL) OwnerUnlock(th *tso.Thread) {
+	if _, f := unpackFlag(th.Load(b.flag0)); f == 1 {
+		th.Store(b.flag0, packFlag(0, 0))
+	} else {
+		th.Store(b.flag0, packFlag(0, 0))
+		b.l.Unlock(th)
+	}
+}
+
+// OtherLock is Figure 3h: acquire L, raise a new version of flag1,
+// fence, then wait until Δ ticks pass or the owner echoes our version;
+// finally wait for flag0.f = 0.
+func (b *FFBL) OtherLock(th *tso.Thread) {
+	b.l.Lock(th)
+	v1, _ := unpackFlag(th.Load(b.flag1))
+	myV := v1 + 1
+	th.Store(b.flag1, packFlag(myV, 1))
+	th.Fence()
+	now := th.Clock()
+	for {
+		if b.boundPassed(th, now) {
+			break
+		}
+		v0, _ := unpackFlag(th.Load(b.flag0))
+		if v0 == myV {
+			break // owner echoed: it is waiting on L, not in the CS
+		}
+	}
+	for {
+		if _, f := unpackFlag(th.Load(b.flag0)); f == 0 {
+			return
+		}
+	}
+}
+
+// OtherUnlock is Figure 3h's unlock: bump flag1's version with the flag
+// down, then release L.
+func (b *FFBL) OtherUnlock(th *tso.Thread) {
+	v1, _ := unpackFlag(th.Load(b.flag1))
+	th.Store(b.flag1, packFlag(v1+1, 0))
+	b.l.Unlock(th)
+}
+
+// BaselineBiased is the basic (not fence-free) biased lock of Figure 3
+// (top row): the owner fences after raising its flag.
+type BaselineBiased struct {
+	flag0, flag1 tso.Addr
+	l            *SpinLock
+}
+
+// NewBaselineBiased allocates the lock's shared variables.
+func NewBaselineBiased(m *tso.Machine) *BaselineBiased {
+	return &BaselineBiased{flag0: m.AllocWords(1), flag1: m.AllocWords(1), l: NewSpinLock(m)}
+}
+
+// OwnerLock is Figure 3b.
+func (b *BaselineBiased) OwnerLock(th *tso.Thread) {
+	th.Store(b.flag0, 1)
+	th.Fence()
+	if th.Load(b.flag1) != 0 {
+		th.Store(b.flag0, 0)
+		b.l.Lock(th)
+	}
+}
+
+// OwnerUnlock is Figure 3c.
+func (b *BaselineBiased) OwnerUnlock(th *tso.Thread) {
+	if th.Load(b.flag0) != 0 {
+		th.Store(b.flag0, 0)
+	} else {
+		b.l.Unlock(th)
+	}
+}
+
+// OtherLock is Figure 3d.
+func (b *BaselineBiased) OtherLock(th *tso.Thread) {
+	b.l.Lock(th)
+	th.Store(b.flag1, 1)
+	th.Fence()
+	for th.Load(b.flag0) != 0 {
+	}
+}
+
+// OtherUnlock is Figure 3d's unlock.
+func (b *BaselineBiased) OtherUnlock(th *tso.Thread) {
+	th.Store(b.flag1, 0)
+	b.l.Unlock(th)
+}

@@ -1,0 +1,227 @@
+package machalg
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"tbtso/internal/tso"
+)
+
+// csRecorder collects critical-section intervals in machine ticks. The
+// recording uses only clock reads, which do not drain store buffers, so
+// the detector cannot mask an exclusion violation.
+type csRecorder struct {
+	mu        sync.Mutex
+	intervals [][2]uint64
+}
+
+func (r *csRecorder) add(enter, exit uint64) {
+	r.mu.Lock()
+	r.intervals = append(r.intervals, [2]uint64{enter, exit})
+	r.mu.Unlock()
+}
+
+// overlap returns a pair of overlapping intervals, if any.
+func (r *csRecorder) overlap() ([2]uint64, [2]uint64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	iv := append([][2]uint64(nil), r.intervals...)
+	sort.Slice(iv, func(i, j int) bool { return iv[i][0] < iv[j][0] })
+	for i := 1; i < len(iv); i++ {
+		if iv[i][0] < iv[i-1][1] {
+			return iv[i-1], iv[i], true
+		}
+	}
+	return [2]uint64{}, [2]uint64{}, false
+}
+
+// biasedLock abstracts the two machine biased locks for shared tests.
+type biasedLock interface {
+	OwnerLock(*tso.Thread)
+	OwnerUnlock(*tso.Thread)
+	OtherLock(*tso.Thread)
+	OtherUnlock(*tso.Thread)
+}
+
+// runBiasedWorkload drives an owner and `others` non-owners through
+// `ownerIters`/`otherIters` acquisitions each and returns the recorder
+// and run result.
+func runBiasedWorkload(cfg tso.Config, mk func(m *tso.Machine) biasedLock, others, ownerIters, otherIters, csWork int) (*csRecorder, tso.Result) {
+	m := tso.New(cfg)
+	lk := mk(m)
+	rec := &csRecorder{}
+	body := func(th *tso.Thread) {
+		enter := th.Clock()
+		for i := 0; i < csWork; i++ {
+			th.Yield()
+		}
+		exit := th.Clock()
+		rec.add(enter, exit)
+	}
+	m.Spawn("owner", func(th *tso.Thread) {
+		for i := 0; i < ownerIters; i++ {
+			lk.OwnerLock(th)
+			body(th)
+			lk.OwnerUnlock(th)
+			th.Yield()
+		}
+		th.Fence() // flush trailing unlock so waiting non-owners proceed
+	})
+	for o := 0; o < others; o++ {
+		m.Spawn("other", func(th *tso.Thread) {
+			for i := 0; i < otherIters; i++ {
+				lk.OtherLock(th)
+				body(th)
+				lk.OtherUnlock(th)
+				th.Yield()
+			}
+			th.Fence()
+		})
+	}
+	res := m.Run()
+	return rec, res
+}
+
+func TestFFBLMutualExclusionOnTBTSO(t *testing.T) {
+	// §5 claim: the fence-free biased lock provides mutual exclusion on
+	// TBTSO[Δ], with and without echoing, under every drain policy.
+	const delta = 300
+	for _, echo := range []bool{true, false} {
+		for _, policy := range []tso.DrainPolicy{tso.DrainAdversarial, tso.DrainRandom} {
+			for seed := int64(0); seed < 5; seed++ {
+				cfg := tso.Config{Delta: delta, Policy: policy, Seed: seed, MaxTicks: 6_000_000}
+				rec, res := runBiasedWorkload(cfg, func(m *tso.Machine) biasedLock {
+					return NewFFBL(m, delta, echo)
+				}, 1, 40, 12, 10)
+				if res.Err != nil {
+					t.Fatalf("echo=%v policy=%v seed=%d: %v", echo, policy, seed, res.Err)
+				}
+				if a, b, bad := rec.overlap(); bad {
+					t.Fatalf("echo=%v policy=%v seed=%d: overlapping critical sections %v and %v", echo, policy, seed, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestFFBLMutualExclusionMultipleNonOwners(t *testing.T) {
+	const delta = 300
+	cfg := tso.Config{Delta: delta, Policy: tso.DrainRandom, Seed: 9, MaxTicks: 8_000_000}
+	rec, res := runBiasedWorkload(cfg, func(m *tso.Machine) biasedLock {
+		return NewFFBL(m, delta, true)
+	}, 3, 40, 8, 10)
+	if res.Err != nil {
+		t.Fatalf("run: %v", res.Err)
+	}
+	if a, b, bad := rec.overlap(); bad {
+		t.Fatalf("overlapping critical sections %v and %v", a, b)
+	}
+}
+
+func TestFFBLUnsoundOnPlainTSO(t *testing.T) {
+	// The same lock on an unbounded-TSO machine: with Δ = 0 the
+	// non-owner's wait degenerates and the owner's buffered flag is
+	// invisible, so both threads enter together. The adversarial policy
+	// must expose overlapping critical sections within a few seeds.
+	for seed := int64(0); seed < 20; seed++ {
+		// Unbounded TSO also breaks the lock's liveness (a buffered
+		// L.unlock can stay invisible forever), so runs may abort at
+		// MaxTicks; the exclusion violation is recorded either way.
+		cfg := tso.Config{Delta: 0, Policy: tso.DrainAdversarial, Seed: seed, MaxTicks: 200_000}
+		rec, _ := runBiasedWorkload(cfg, func(m *tso.Machine) biasedLock {
+			return NewFFBL(m, 0, false)
+		}, 1, 40, 12, 10)
+		if _, _, bad := rec.overlap(); bad {
+			return // reproduced: fence-free biased locking needs the Δ bound
+		}
+	}
+	t.Fatal("FFBL with Δ=0 on plain TSO never violated exclusion — demo miswired or machine too strong")
+}
+
+func TestBaselineBiasedSafeOnPlainTSO(t *testing.T) {
+	// The fenced baseline (Figure 3 top) is safe even on unbounded TSO.
+	for seed := int64(0); seed < 5; seed++ {
+		cfg := tso.Config{Delta: 0, Policy: tso.DrainAdversarial, Seed: seed, MaxTicks: 6_000_000}
+		rec, res := runBiasedWorkload(cfg, func(m *tso.Machine) biasedLock {
+			return NewBaselineBiased(m)
+		}, 1, 40, 12, 10)
+		if res.Err != nil {
+			t.Fatalf("seed=%d: %v", seed, res.Err)
+		}
+		if a, b, bad := rec.overlap(); bad {
+			t.Fatalf("seed=%d: overlapping critical sections %v and %v", seed, a, b)
+		}
+	}
+}
+
+func TestEchoCutsNonOwnerWait(t *testing.T) {
+	// §5.1/§7.2: with echoing, the non-owner stops waiting as soon as
+	// the owner's echo lands, so the run finishes far sooner than the
+	// no-echo variant, which always waits the full Δ per acquisition.
+	const delta = 1500
+	run := func(echo bool) uint64 {
+		cfg := tso.Config{Delta: delta, Policy: tso.DrainRandom, Seed: 3, MaxTicks: 10_000_000}
+		_, res := runBiasedWorkload(cfg, func(m *tso.Machine) biasedLock {
+			return NewFFBL(m, delta, echo)
+		}, 1, 400, 15, 2)
+		if res.Err != nil {
+			t.Fatalf("echo=%v: %v", echo, res.Err)
+		}
+		return res.Ticks
+	}
+	withEcho, withoutEcho := run(true), run(false)
+	if withEcho*2 >= withoutEcho {
+		t.Fatalf("echoing did not help: %d ticks with echo vs %d without", withEcho, withoutEcho)
+	}
+}
+
+func TestNonOwnerProgressWhileOwnerStalled(t *testing.T) {
+	// §5 claim: because the slow path is nonblocking (bounded Δ wait
+	// rather than a safe point), a non-owner can acquire the lock even
+	// when the owner is scheduled out. The owner here stalls without
+	// ever reaching any cooperative point.
+	const delta = 300
+	const otherIters = 10
+	cfg := tso.Config{Delta: delta, Policy: tso.DrainAdversarial, Seed: 4,
+		// Generous but finite: if the non-owner blocked on the stalled
+		// owner, the run would blow through this budget.
+		MaxTicks: 40 * delta * otherIters}
+	m := tso.New(cfg)
+	lk := NewFFBL(m, delta, true)
+	acquired := 0
+	m.Spawn("owner", func(th *tso.Thread) {
+		lk.OwnerLock(th)
+		th.Yield()
+		lk.OwnerUnlock(th)
+		// Stall: the owner never synchronizes again.
+		for i := 0; i < 20*delta; i++ {
+			th.Yield()
+		}
+	})
+	m.Spawn("other", func(th *tso.Thread) {
+		for i := 0; i < otherIters; i++ {
+			lk.OtherLock(th)
+			acquired++
+			lk.OtherUnlock(th)
+		}
+	})
+	res := m.Run()
+	if res.Err != nil {
+		t.Fatalf("run: %v", res.Err)
+	}
+	if acquired != otherIters {
+		t.Fatalf("non-owner acquired %d/%d times with a stalled owner", acquired, otherIters)
+	}
+}
+
+func TestFlagPacking(t *testing.T) {
+	for _, v := range []tso.Word{0, 1, 7, 1 << 40} {
+		for _, f := range []tso.Word{0, 1} {
+			gv, gf := unpackFlag(packFlag(v, f))
+			if gv != v || gf != f {
+				t.Fatalf("pack/unpack(%d,%d) = (%d,%d)", v, f, gv, gf)
+			}
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package machalg
+
+import "tbtso/internal/tso"
+
+// Machine-memory layout of a list node (Figure 1's struct Node):
+//
+//	word 0: key
+//	word 1: nextPtr — a MarkPtr packing the successor address in the
+//	        upper bits and the logical-deletion mark in bit 0
+const (
+	nodeWords  = 2
+	offKey     = 0
+	offNext    = 1
+	maxListKey = 1 << 40 // keys must leave the packed pointer intact
+)
+
+func pack(addr tso.Addr, mark tso.Word) tso.Word {
+	return tso.Word(addr)<<1 | (mark & 1)
+}
+
+func unpack(w tso.Word) (addr tso.Addr, mark tso.Word) {
+	return tso.Addr(w >> 1), w & 1
+}
+
+// List is Michael's nonblocking sorted linked list (Figure 1) expressed
+// as machine programs, with hazard-pointer protection supplied by an
+// HPDomain. Nodes come from an Allocator so that misreclamation is
+// detected by the machine monitor.
+type List struct {
+	head  tso.Addr // address of the head MarkPtr word (immutable sentinel)
+	hp    *HPDomain
+	alloc *Allocator
+}
+
+// NewList allocates the list head in machine memory.
+func NewList(m *tso.Machine, hp *HPDomain, alloc *Allocator) *List {
+	return &List{head: m.AllocWords(1), hp: hp, alloc: alloc}
+}
+
+// findResult carries find()'s three traversal pointers (Figure 1's
+// prev, cur, next thread-locals).
+type findResult struct {
+	found bool
+	prev  tso.Addr // address of the MarkPtr word pointing at cur
+	cur   tso.Addr // node with key >= target (0 if none)
+	next  tso.Addr // cur's successor at observation time
+}
+
+// find is Figure 1's find(): traverse from head, physically removing
+// marked nodes along the way, protecting every node with a hazard
+// pointer before dereferencing it. On return, cur (if nonzero) is
+// protected by hp1 and prev's node (if any) by hp2.
+func (l *List) find(th *tso.Thread, key tso.Word) findResult {
+retry:
+	prev := l.head
+	curW := th.Load(prev)
+	cur, _ := unpack(curW)
+	// Box at Figure 1 line 33: protect cur with hp1, then validate that
+	// prev still points at cur unmarked. Validation loads are skipped
+	// when the domain does not publish (HPNone — the RCU-like yardstick).
+	if l.hp.Protect(th, 1, cur) {
+		if th.Load(prev) != pack(cur, 0) {
+			goto retry
+		}
+	}
+	for {
+		if cur == 0 {
+			return findResult{found: false, prev: prev}
+		}
+		nextW := th.Load(cur + offNext)
+		next, mark := unpack(nextW)
+		// Box at Figure 1 line 36: protect next with hp0 and validate.
+		needsVal := l.hp.Protect(th, 0, next)
+		if needsVal && th.Load(cur+offNext) != pack(next, mark) {
+			goto retry
+		}
+		ckey := th.Load(cur + offKey)
+		if needsVal && th.Load(prev) != pack(cur, 0) {
+			goto retry
+		}
+		if mark == 0 {
+			if ckey >= key {
+				return findResult{found: ckey == key, prev: prev, cur: cur, next: next}
+			}
+			prev = cur + offNext
+			l.hp.Copy(th, 2, cur) // hp2 := hp1, copy rule: no fence
+		} else {
+			// cur is logically deleted: physically unlink it.
+			if th.CAS(prev, pack(cur, 0), pack(next, 0)) {
+				l.hp.Retire(th, cur)
+			} else {
+				goto retry
+			}
+		}
+		cur = next
+		l.hp.Copy(th, 1, next) // hp1 := hp0, copy rule: no fence
+	}
+}
+
+// Lookup reports whether key is in the list (Figure 1's lookup()).
+func (l *List) Lookup(th *tso.Thread, key tso.Word) bool {
+	if key >= maxListKey {
+		panic("machalg: key too large")
+	}
+	return l.find(th, key).found
+}
+
+// Insert adds key to the list; it reports false if the key was already
+// present. It panics if the allocator pool is exhausted (size pools to
+// the workload; retirement bounds live objects).
+func (l *List) Insert(th *tso.Thread, key tso.Word) bool {
+	if key >= maxListKey {
+		panic("machalg: key too large")
+	}
+	var node tso.Addr
+	for {
+		r := l.find(th, key)
+		if r.found {
+			if node != 0 {
+				// The node was never published, so freeing it directly
+				// is safe; the fence drains our buffered stores to it
+				// so none commits into the object after the free.
+				th.Fence()
+				l.alloc.Free(node)
+			}
+			return false
+		}
+		if node == 0 {
+			node = l.alloc.Alloc()
+			if node == 0 {
+				panic("machalg: allocator pool exhausted")
+			}
+			th.Store(node+offKey, key)
+		}
+		// Point the private node at cur; the publishing CAS below is an
+		// atomic operation and therefore drains these buffered stores
+		// before the node becomes reachable.
+		th.Store(node+offNext, pack(r.cur, 0))
+		if th.CAS(r.prev, pack(r.cur, 0), pack(node, 0)) {
+			return true
+		}
+	}
+}
+
+// Delete removes key from the list (Figure 1's delete()): mark the node
+// logically deleted, then unlink and retire it. It reports whether the
+// key was present.
+func (l *List) Delete(th *tso.Thread, key tso.Word) bool {
+	if key >= maxListKey {
+		panic("machalg: key too large")
+	}
+	for {
+		r := l.find(th, key)
+		if !r.found {
+			return false
+		}
+		// Logical deletion (Figure 1 line 25).
+		if !th.CAS(r.cur+offNext, pack(r.next, 0), pack(r.next, 1)) {
+			continue
+		}
+		// Physical removal (Figure 1 line 26). The CAS makes the
+		// removal globally visible, as retire() requires.
+		if th.CAS(r.prev, pack(r.cur, 0), pack(r.next, 0)) {
+			l.hp.Retire(th, r.cur)
+		} else {
+			// Another thread will unlink it during its traversal.
+			l.find(th, key)
+		}
+		return true
+	}
+}
+
+// Snapshot walks the list outside any run (after Machine.Run returns)
+// and returns the unmarked keys in order. For verification only.
+func (l *List) Snapshot(m *tso.Machine) []tso.Word {
+	var keys []tso.Word
+	w := m.PeekWord(l.head)
+	addr, _ := unpack(w)
+	for addr != 0 {
+		nw := m.PeekWord(addr + offNext)
+		next, mark := unpack(nw)
+		if mark == 0 {
+			keys = append(keys, m.PeekWord(addr+offKey))
+		}
+		addr = next
+	}
+	return keys
+}

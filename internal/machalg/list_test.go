@@ -1,0 +1,365 @@
+package machalg
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"tbtso/internal/tso"
+)
+
+// newListMachine wires up a machine, allocator, HP domain and list for
+// `threads` worker threads.
+func newListMachine(cfg tso.Config, mode HPMode, threads, capacity, r int) (*tso.Machine, *Allocator, *HPDomain, *List) {
+	m := tso.New(cfg)
+	alloc := NewAllocator(m, capacity, nodeWords)
+	hp := NewHPDomain(m, alloc, mode, threads, 3, r, cfg.Delta)
+	l := NewList(m, hp, alloc)
+	return m, alloc, hp, l
+}
+
+func TestListSequentialSemantics(t *testing.T) {
+	// Single machine thread performing random ops, checked against a
+	// map model, across modes and seeds.
+	for _, mode := range []HPMode{HPFenced, HPFenceFree} {
+		for seed := int64(0); seed < 5; seed++ {
+			m, alloc, _, l := newListMachine(
+				tso.Config{Delta: 200, Policy: tso.DrainRandom, Seed: seed}, mode, 1, 64, 4)
+			model := map[tso.Word]bool{}
+			var mismatch string
+			rng := rand.New(rand.NewSource(seed))
+			ops := make([]int, 300)
+			keys := make([]tso.Word, 300)
+			for i := range ops {
+				ops[i] = rng.Intn(3)
+				keys[i] = tso.Word(rng.Intn(12))
+			}
+			m.Spawn("seq", func(th *tso.Thread) {
+				for i := range ops {
+					k := keys[i]
+					switch ops[i] {
+					case 0:
+						got := l.Insert(th, k)
+						want := !model[k]
+						if got != want {
+							mismatch = "insert"
+							return
+						}
+						model[k] = true
+					case 1:
+						got := l.Delete(th, k)
+						if got != model[k] {
+							mismatch = "delete"
+							return
+						}
+						delete(model, k)
+					case 2:
+						got := l.Lookup(th, k)
+						if got != model[k] {
+							mismatch = "lookup"
+							return
+						}
+					}
+				}
+			})
+			res := m.Run()
+			if res.Err != nil {
+				t.Fatalf("mode=%v seed=%d run: %v", mode, seed, res.Err)
+			}
+			if mismatch != "" {
+				t.Fatalf("mode=%v seed=%d: %s disagreed with model", mode, seed, mismatch)
+			}
+			if v := alloc.Violations(); len(v) != 0 {
+				t.Fatalf("mode=%v seed=%d: violations %v", mode, seed, v)
+			}
+			snap := l.Snapshot(m)
+			if len(snap) != len(model) {
+				t.Fatalf("mode=%v seed=%d: snapshot %v vs model size %d", mode, seed, snap, len(model))
+			}
+			for _, k := range snap {
+				if !model[k] {
+					t.Fatalf("mode=%v seed=%d: stray key %d", mode, seed, k)
+				}
+			}
+		}
+	}
+}
+
+func TestListSnapshotSortedUnique(t *testing.T) {
+	m, _, _, l := newListMachine(tso.Config{Delta: 200, Seed: 3}, HPFenceFree, 1, 64, 4)
+	m.Spawn("w", func(th *tso.Thread) {
+		for _, k := range []tso.Word{5, 1, 9, 3, 7, 1, 5} {
+			l.Insert(th, k)
+		}
+	})
+	if res := m.Run(); res.Err != nil {
+		t.Fatalf("run: %v", res.Err)
+	}
+	snap := l.Snapshot(m)
+	want := []tso.Word{1, 3, 5, 7, 9}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot %v, want %v", snap, want)
+	}
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Fatalf("snapshot %v, want %v", snap, want)
+		}
+	}
+}
+
+// runConcurrentList runs `threads` workers doing a random op mix and
+// returns the allocator/domain for invariant checks.
+func runConcurrentList(t *testing.T, cfg tso.Config, mode HPMode, threads, opsPerThread int, universe int) (*tso.Machine, *Allocator, *HPDomain, *List, tso.Result) {
+	t.Helper()
+	h := threads * 3
+	r := h + 4
+	capacity := universe + threads*r + 32
+	m, alloc, hp, l := newListMachine(cfg, mode, threads, capacity, r)
+	for i := 0; i < threads; i++ {
+		seed := cfg.Seed*1000 + int64(i)
+		m.Spawn("worker", func(th *tso.Thread) {
+			rng := rand.New(rand.NewSource(seed))
+			for k := 0; k < opsPerThread; k++ {
+				key := tso.Word(rng.Intn(universe))
+				switch rng.Intn(4) {
+				case 0:
+					l.Insert(th, key)
+				case 1:
+					l.Delete(th, key)
+				default:
+					l.Lookup(th, key)
+				}
+			}
+			// Let retired nodes belonging to this thread be freed by
+			// others: clear our hazard pointers on the way out.
+			for i := 0; i < 3; i++ {
+				hp.Clear(th, i)
+			}
+		})
+	}
+	res := m.Run()
+	return m, alloc, hp, l, res
+}
+
+func TestFFHPSafeOnTBTSO(t *testing.T) {
+	// The paper's §4 claim: fence-free hazard pointers on TBTSO[Δ]
+	// never produce a use-after-free, even under the adversarial drain
+	// policy and scheduler stalls.
+	for _, policy := range []tso.DrainPolicy{tso.DrainAdversarial, tso.DrainRandom} {
+		for seed := int64(0); seed < 6; seed++ {
+			cfg := tso.Config{Delta: 400, Policy: policy, Seed: seed, StallProb: 0.1, MaxTicks: 8_000_000}
+			m, alloc, hp, l, res := runConcurrentList(t, cfg, HPFenceFree, 3, 120, 16)
+			if res.Err != nil {
+				t.Fatalf("policy=%v seed=%d: %v", policy, seed, res.Err)
+			}
+			if v := alloc.Violations(); len(v) != 0 {
+				t.Fatalf("policy=%v seed=%d: FFHP produced violations: %v", policy, seed, v[0])
+			}
+			if res.Stats.MaxCommitLatency > cfg.Delta {
+				t.Fatalf("Δ bound violated: %d > %d", res.Stats.MaxCommitLatency, cfg.Delta)
+			}
+			snap := l.Snapshot(m)
+			for i := 1; i < len(snap); i++ {
+				if snap[i-1] >= snap[i] {
+					t.Fatalf("snapshot not sorted/unique: %v", snap)
+				}
+			}
+			st := hp.Stats()
+			if st.Retired < st.Freed {
+				t.Fatalf("freed %d > retired %d", st.Freed, st.Retired)
+			}
+			allocs, frees := alloc.Counts()
+			if live := alloc.LiveObjects(); allocs-frees != live {
+				t.Fatalf("allocator bookkeeping: allocs=%d frees=%d live=%d", allocs, frees, live)
+			}
+		}
+	}
+}
+
+func TestHPFencedSafeOnPlainTSO(t *testing.T) {
+	// Standard hazard pointers (with fences) are safe even on
+	// unbounded TSO with adversarial drains.
+	cfg := tso.Config{Delta: 0, Policy: tso.DrainAdversarial, Seed: 2, MaxTicks: 8_000_000}
+	_, alloc, _, _, res := runConcurrentList(t, cfg, HPFenced, 3, 100, 12)
+	if res.Err != nil {
+		t.Fatalf("run: %v", res.Err)
+	}
+	if v := alloc.Violations(); len(v) != 0 {
+		t.Fatalf("fenced HP produced violations: %v", v[0])
+	}
+}
+
+// directedReclaimRace runs the §4 interleaving the fence exists to
+// prevent: a reader protects a node with a hazard pointer (fenced or
+// not, per mode) and validates; then a reclaimer unlinks the node with
+// a CAS, retires it, and repeatedly tries to reclaim; finally the
+// reader dereferences the node. Under the adversarial drain policy the
+// reader's hazard-pointer store stays buffered as long as the model
+// allows, so whether the reclaim frees the node under the reader's feet
+// depends exactly on the fence / Δ-deferral combination.
+func directedReclaimRace(t *testing.T, delta uint64, mode HPMode) (*Allocator, bool) {
+	t.Helper()
+	cfg := tso.Config{Delta: delta, Policy: tso.DrainAdversarial, Seed: 1, MaxTicks: 1_000_000}
+	m := tso.New(cfg)
+	alloc := NewAllocator(m, 4, nodeWords)
+	hp := NewHPDomain(m, alloc, mode, 2, 3, 7, delta)
+	l := NewList(m, hp, alloc)
+
+	// Pre-populate: head -> node(key=1) -> nil.
+	node := alloc.Alloc()
+	m.SetWord(node+offKey, 1)
+	m.SetWord(node+offNext, pack(0, 0))
+	m.SetWord(l.head, pack(node, 0))
+
+	// Go-side orchestration flags (not machine memory): they order the
+	// two programs without adding machine fences.
+	var validated, released atomic.Bool
+	validationOK := true
+	freed := false
+
+	m.Spawn("reader", func(th *tso.Thread) {
+		curW := th.Load(l.head)
+		cur, _ := unpack(curW)
+		hp.Protect(th, 1, cur) // fence only in HPFenced mode
+		if th.Load(l.head) != pack(cur, 0) {
+			validationOK = false
+			validated.Store(true)
+			return
+		}
+		validated.Store(true)
+		for !released.Load() {
+			th.Yield()
+		}
+		_ = th.Load(cur + offKey) // the dereference at risk
+		hp.Clear(th, 1)
+	})
+	m.Spawn("reclaimer", func(th *tso.Thread) {
+		for !validated.Load() {
+			th.Yield()
+		}
+		if !validationOK {
+			released.Store(true)
+			return
+		}
+		if !th.CAS(l.head, pack(node, 0), pack(0, 0)) {
+			t.Error("unlink CAS failed")
+			released.Store(true)
+			return
+		}
+		hp.Retire(th, node)
+		deadline := th.Clock() + delta + 200
+		for {
+			hp.Reclaim(th)
+			if alloc.LiveObjects() == 0 {
+				freed = true
+				break
+			}
+			if th.Clock() > deadline {
+				break
+			}
+		}
+		released.Store(true)
+	})
+	res := m.Run()
+	if res.Err != nil {
+		t.Fatalf("delta=%d mode=%v run: %v", delta, mode, res.Err)
+	}
+	if !validationOK {
+		t.Fatalf("delta=%d mode=%v: validation failed before the unlink — scenario miswired", delta, mode)
+	}
+	return alloc, freed
+}
+
+func TestReclaimRaceMatrix(t *testing.T) {
+	// The full soundness matrix of §3–§4: fence-free protection is
+	// unsound without BOTH the Δ bound (TBTSO) and the Δ-deferred
+	// reclaim (FFHP); standard fenced HP is sound even on plain TSO.
+	cases := []struct {
+		name     string
+		delta    uint64
+		mode     HPMode
+		wantUAF  bool
+		wantFree bool
+	}{
+		{"fenced HP on plain TSO is safe", 0, HPFenced, false, false},
+		{"fence-free+no-deferral on plain TSO frees under the reader", 0, HPUnsafe, true, true},
+		{"fence-free+no-deferral on TBTSO still unsafe (deferral matters)", 400, HPUnsafe, true, true},
+		{"FFHP on plain TSO unsafe (the Δ bound matters)", 0, HPFenceFree, true, true},
+		{"FFHP on TBTSO[Δ] is safe", 400, HPFenceFree, false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			alloc, freed := directedReclaimRace(t, tc.delta, tc.mode)
+			gotUAF := false
+			for _, v := range alloc.Violations() {
+				if v.Kind == "load" {
+					gotUAF = true
+				}
+			}
+			if gotUAF != tc.wantUAF {
+				t.Fatalf("use-after-free = %v, want %v (violations: %v)", gotUAF, tc.wantUAF, alloc.Violations())
+			}
+			if freed != tc.wantFree {
+				t.Fatalf("node freed while protected = %v, want %v", freed, tc.wantFree)
+			}
+		})
+	}
+}
+
+func TestFFHPReclaimDefersYoungObjects(t *testing.T) {
+	// A reclaim() that runs immediately after a retirement must not
+	// free the young object even if no hazard pointer protects it.
+	const delta = 500
+	m := tso.New(tso.Config{Delta: delta, Policy: tso.DrainEager, Seed: 1})
+	alloc := NewAllocator(m, 4, nodeWords)
+	hp := NewHPDomain(m, alloc, HPFenceFree, 1, 3, 100, delta)
+	var freedEarly, freedLate bool
+	m.Spawn("t", func(th *tso.Thread) {
+		obj := alloc.Alloc()
+		th.Fence()
+		l := len(hp.rlists[0])
+		_ = l
+		hp.rlists[0] = append(hp.rlists[0], retiredObj{obj: obj, t: th.Clock()})
+		hp.rcount[0]++
+		hp.Reclaim(th)
+		freedEarly = alloc.LiveObjects() == 0
+		th.WaitUntil(th.Clock() + delta + 2)
+		hp.Reclaim(th)
+		freedLate = alloc.LiveObjects() == 0
+	})
+	if res := m.Run(); res.Err != nil {
+		t.Fatalf("run: %v", res.Err)
+	}
+	if freedEarly {
+		t.Fatal("reclaim freed an object younger than Δ")
+	}
+	if !freedLate {
+		t.Fatal("reclaim failed to free an unprotected object older than Δ")
+	}
+}
+
+func TestHPDomainRequiresRGreaterThanH(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for R <= H")
+		}
+	}()
+	m := tso.New(tso.Config{Seed: 1})
+	alloc := NewAllocator(m, 4, nodeWords)
+	NewHPDomain(m, alloc, HPFenceFree, 2, 3, 6, 100) // R == H
+}
+
+func TestRetireLoopIsBounded(t *testing.T) {
+	// §4.2: once Δ passes, a reclaim() frees at least one object, so
+	// the retire-side while loop terminates. Check the loop never
+	// exceeds a small multiple of the op count.
+	cfg := tso.Config{Delta: 300, Policy: tso.DrainAdversarial, Seed: 5, MaxTicks: 8_000_000}
+	_, _, hp, _, res := runConcurrentList(t, cfg, HPFenceFree, 2, 150, 6)
+	if res.Err != nil {
+		t.Fatalf("run: %v", res.Err)
+	}
+	st := hp.Stats()
+	if st.ReclaimLoops > 50*st.Retired+100 {
+		t.Fatalf("retire loop iterated %d times for %d retirements — not wait-free-ish", st.ReclaimLoops, st.Retired)
+	}
+}

@@ -1,0 +1,44 @@
+package machalg
+
+import "tbtso/internal/tso"
+
+// Peterson is Peterson's two-thread mutual exclusion algorithm [31],
+// one of the flag-principle algorithms §1 cites as requiring fences on
+// TSO. It exists here as the classic demonstration: with the fence it
+// is correct on any TSO machine; without it, the store/load reordering
+// lets both threads enter — the failure mode TBTSO's asymmetric
+// constructions are designed to avoid paying for.
+type Peterson struct {
+	flags  tso.Addr // flags+0, flags+1
+	victim tso.Addr
+	fenced bool
+}
+
+// NewPeterson allocates the algorithm's three shared words. fenced
+// selects whether Lock issues the fence the flag principle requires.
+func NewPeterson(m *tso.Machine, fenced bool) *Peterson {
+	return &Peterson{flags: m.AllocWords(2), victim: m.AllocWords(1), fenced: fenced}
+}
+
+// Lock enters the critical section as thread me (0 or 1).
+func (p *Peterson) Lock(th *tso.Thread, me int) {
+	other := 1 - me
+	th.Store(p.flags+tso.Addr(me), 1)
+	th.Store(p.victim, tso.Word(me))
+	if p.fenced {
+		th.Fence()
+	}
+	for {
+		if th.Load(p.flags+tso.Addr(other)) == 0 {
+			return
+		}
+		if th.Load(p.victim) != tso.Word(me) {
+			return
+		}
+	}
+}
+
+// Unlock leaves the critical section.
+func (p *Peterson) Unlock(th *tso.Thread, me int) {
+	th.Store(p.flags+tso.Addr(me), 0)
+}

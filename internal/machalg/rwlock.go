@@ -1,0 +1,77 @@
+package machalg
+
+import "tbtso/internal/tso"
+
+// PRWLock is a passive reader-writer lock in the spirit of Liu, Zhang
+// and Chen [23] (§8's related work), rebuilt on the TBTSO bound: the
+// read-side fast path raises a per-reader flag with NO fence and checks
+// for a writer; the writer — the slow path — publishes its intent,
+// fences, waits out Δ so every reader flag raised before its
+// publication is visible, and then waits for the raised flags to drop.
+// Liu et al. used inter-processor interrupts to flush remote store
+// buffers; TBTSO's temporal bound replaces the IPIs, which is precisely
+// the §8 observation that motivated this reproduction's extension.
+type PRWLock struct {
+	readers tso.Addr // one flag word per reader thread
+	n       int
+	writer  tso.Addr // writer-present flag
+	wl      *SpinLock
+	delta   uint64
+}
+
+// NewPRWLock allocates the lock for n reader threads. delta is the
+// machine's Δ bound in ticks.
+func NewPRWLock(m *tso.Machine, n int, delta uint64) *PRWLock {
+	return &PRWLock{
+		readers: m.AllocWords(n),
+		n:       n,
+		writer:  m.AllocWords(1),
+		wl:      NewSpinLock(m),
+		delta:   delta,
+	}
+}
+
+// RLock enters the read side for reader slot r. The fast path — no
+// writer around — is one plain store and one load, fence-free.
+func (l *PRWLock) RLock(th *tso.Thread, r int) {
+	slot := l.readers + tso.Addr(r)
+	for {
+		th.Store(slot, 1)
+		// no fence — the writer's Δ wait covers our flag
+		if th.Load(l.writer) == 0 {
+			return
+		}
+		// A writer is active or pending: back off and wait it out.
+		th.Store(slot, 0)
+		for th.Load(l.writer) != 0 {
+			th.Yield()
+		}
+	}
+}
+
+// RUnlock leaves the read side.
+func (l *PRWLock) RUnlock(th *tso.Thread, r int) {
+	th.Store(l.readers+tso.Addr(r), 0)
+}
+
+// Lock acquires the write side: serialize writers, publish intent,
+// fence, wait Δ (every reader flag raised before our publication is
+// now visible), then wait for raised flags to drop.
+func (l *PRWLock) Lock(th *tso.Thread) {
+	l.wl.Lock(th)
+	th.Store(l.writer, 1)
+	th.Fence()
+	deadline := th.Clock() + l.delta
+	th.WaitUntil(deadline)
+	for r := 0; r < l.n; r++ {
+		for th.Load(l.readers+tso.Addr(r)) != 0 {
+			th.Yield()
+		}
+	}
+}
+
+// Unlock releases the write side.
+func (l *PRWLock) Unlock(th *tso.Thread) {
+	th.Store(l.writer, 0)
+	l.wl.Unlock(th)
+}

@@ -1,0 +1,118 @@
+package machalg
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"tbtso/internal/tso"
+)
+
+// The §4.1 copy rule, isolated: a thread may copy a hazard pointer from
+// a LOW slot to a HIGH slot without a fence only because reclaimers
+// scan slots in ASCENDING order — if the scan observes the low slot's
+// overwrite, TSO's store order guarantees the copy already committed
+// and the ascending scan will see it in the high slot. A descending
+// scan can read the high slot before the copy commits and the low slot
+// after the overwrite commits, missing the object entirely.
+//
+// runCopyRace orchestrates exactly that window: the reader copies
+// hp0→hp1 and overwrites hp0 (both buffered); the reclaimer reads the
+// scan's FIRST slot; the reader then fences (committing both stores);
+// the reclaimer finishes the scan and reclaims.
+func runCopyRace(t *testing.T, descending bool) (uaf bool) {
+	t.Helper()
+	m := tso.New(tso.Config{Delta: 0, Policy: tso.DrainAdversarial, Seed: 1, MaxTicks: 1_000_000})
+	alloc := NewAllocator(m, 4, nodeWords)
+	// HPUnsafe: no Δ deferral, so reclamation acts immediately — the
+	// scan order is the only thing under test. K=2 slots per thread.
+	hp := NewHPDomain(m, alloc, HPUnsafe, 2, 2, 5, 0)
+	hp.SetScanDescending(descending)
+
+	v := alloc.Alloc()
+	m.SetWord(v+offKey, 7)
+
+	// Go-side phase orchestration (no machine fences implied).
+	var phase atomic.Int32 // 0: setup, 1: copy buffered, 2: first slot read, 3: committed, 4: reclaimed
+	m.Spawn("reader", func(th *tso.Thread) {
+		hp.Protect(th, 0, v) // hp0 := v
+		th.Fence()           // make the initial protection visible
+		phase.Store(1)
+		for phase.Load() < 2 {
+			th.Yield()
+		}
+		// The §4.1 copy: hp1 := hp0 (no fence), then overwrite hp0.
+		hp.Copy(th, 1, v)
+		hp.Clear(th, 0)
+		th.Fence() // both stores commit now, between the two scan reads
+		phase.Store(3)
+		for phase.Load() < 4 {
+			th.Yield()
+		}
+		_ = th.Load(v + offKey) // the access the copy should protect
+		hp.Clear(th, 1)
+	})
+	m.Spawn("reclaimer", func(th *tso.Thread) {
+		for phase.Load() < 1 {
+			th.Yield()
+		}
+		// Manually perform Reclaim's scan with a pause between slots.
+		firstSlot, secondSlot := 0, 1
+		if descending {
+			firstSlot, secondSlot = 1, 0
+		}
+		first := th.Load(hp.slot(0, firstSlot))
+		phase.Store(2)
+		for phase.Load() < 3 {
+			th.Yield()
+		}
+		second := th.Load(hp.slot(0, secondSlot))
+		protected := tso.Addr(first) == v || tso.Addr(second) == v
+		if !protected {
+			alloc.Free(v)
+		}
+		phase.Store(4)
+	})
+	if res := m.Run(); res.Err != nil {
+		t.Fatalf("run: %v", res.Err)
+	}
+	for _, viol := range alloc.Violations() {
+		if viol.Kind == "load" {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAscendingScanMakesCopiesSafe(t *testing.T) {
+	if runCopyRace(t, false) {
+		t.Fatal("ascending scan missed a copied hazard pointer")
+	}
+}
+
+func TestDescendingScanBreaksCopies(t *testing.T) {
+	if !runCopyRace(t, true) {
+		t.Fatal("descending scan did not exhibit the copy race — the §4.1 ordering rule looks vacuous")
+	}
+}
+
+func TestDomainScanOrderFlagOnReclaim(t *testing.T) {
+	// The flag must actually change Reclaim's behaviour (smoke).
+	m := tso.New(tso.Config{Delta: 100, Policy: tso.DrainEager, Seed: 2})
+	alloc := NewAllocator(m, 8, nodeWords)
+	hp := NewHPDomain(m, alloc, HPFenced, 1, 3, 5, 100)
+	hp.SetScanDescending(true)
+	m.Spawn("t", func(th *tso.Thread) {
+		h := alloc.Alloc()
+		th.Fence()
+		hp.Protect(th, 2, h)
+		hp.Retire(th, alloc.Alloc())
+		hp.Reclaim(th)
+		_ = th.Load(h + offKey)
+	})
+	if res := m.Run(); res.Err != nil {
+		t.Fatalf("run: %v", res.Err)
+	}
+	if len(alloc.Violations()) != 0 {
+		t.Fatalf("violations in smoke: %v", alloc.Violations())
+	}
+}

@@ -1,0 +1,70 @@
+package machalg
+
+import "tbtso/internal/tso"
+
+// Table is the §7.1 chaining hash table expressed at machine level:
+// a fixed array of head MarkPtr words in machine memory, each chain a
+// Michael list traversed with the domain's hazard-pointer protocol.
+// It exists so the evaluation's actual data structure — not just a
+// single list — runs under the machine's adversarial schedules and
+// use-after-free detection.
+type Table struct {
+	heads   tso.Addr
+	buckets tso.Word
+	hp      *HPDomain
+	alloc   *Allocator
+}
+
+// NewTable allocates a table with the given power-of-two bucket count.
+func NewTable(m *tso.Machine, hp *HPDomain, alloc *Allocator, buckets int) *Table {
+	if buckets <= 0 || buckets&(buckets-1) != 0 {
+		panic("machalg: bucket count must be a positive power of two")
+	}
+	return &Table{
+		heads:   m.AllocWords(buckets),
+		buckets: tso.Word(buckets),
+		hp:      hp,
+		alloc:   alloc,
+	}
+}
+
+// tableHash is the same splitmix64 finalizer the native table uses.
+func tableHash(k tso.Word) tso.Word {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}
+
+// bucketList views one bucket as a List rooted at its head word.
+func (t *Table) bucketList(key tso.Word) *List {
+	b := tableHash(key) & (t.buckets - 1)
+	return &List{head: t.heads + tso.Addr(b), hp: t.hp, alloc: t.alloc}
+}
+
+// Lookup reports whether key is present.
+func (t *Table) Lookup(th *tso.Thread, key tso.Word) bool {
+	return t.bucketList(key).Lookup(th, key)
+}
+
+// Insert adds key; false means it was already present.
+func (t *Table) Insert(th *tso.Thread, key tso.Word) bool {
+	return t.bucketList(key).Insert(th, key)
+}
+
+// Delete removes key; false means it was absent.
+func (t *Table) Delete(th *tso.Thread, key tso.Word) bool {
+	return t.bucketList(key).Delete(th, key)
+}
+
+// Len counts elements after the run (quiescent use only).
+func (t *Table) Len(m *tso.Machine) int {
+	n := 0
+	for b := tso.Word(0); b < t.buckets; b++ {
+		l := &List{head: t.heads + tso.Addr(b), hp: t.hp, alloc: t.alloc}
+		n += len(l.Snapshot(m))
+	}
+	return n
+}

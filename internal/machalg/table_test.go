@@ -1,0 +1,113 @@
+package machalg
+
+import (
+	"math/rand"
+	"testing"
+
+	"tbtso/internal/tso"
+)
+
+func TestMachineTableSequentialSemantics(t *testing.T) {
+	m := tso.New(tso.Config{Delta: 200, Policy: tso.DrainRandom, Seed: 7})
+	alloc := NewAllocator(m, 128, nodeWords)
+	hp := NewHPDomain(m, alloc, HPFenceFree, 1, 3, 8, 200)
+	tb := NewTable(m, hp, alloc, 8)
+	model := map[tso.Word]bool{}
+	var mismatch bool
+	m.Spawn("seq", func(th *tso.Thread) {
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 400; i++ {
+			k := tso.Word(rng.Intn(40))
+			switch rng.Intn(3) {
+			case 0:
+				if tb.Insert(th, k) == model[k] {
+					mismatch = true
+					return
+				}
+				model[k] = true
+			case 1:
+				if tb.Delete(th, k) != model[k] {
+					mismatch = true
+					return
+				}
+				delete(model, k)
+			default:
+				if tb.Lookup(th, k) != model[k] {
+					mismatch = true
+					return
+				}
+			}
+		}
+	})
+	if res := m.Run(); res.Err != nil {
+		t.Fatalf("run: %v", res.Err)
+	}
+	if mismatch {
+		t.Fatal("table disagreed with model")
+	}
+	if got := tb.Len(m); got != len(model) {
+		t.Fatalf("Len = %d, model %d", got, len(model))
+	}
+	if v := alloc.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestMachineTableConcurrentFFHPSafe(t *testing.T) {
+	// The §7.1 structure under the §4 scheme, adversarial drains.
+	for seed := int64(0); seed < 3; seed++ {
+		const threads = 3
+		cfg := tso.Config{Delta: 400, Policy: tso.DrainAdversarial, Seed: seed, MaxTicks: 8_000_000}
+		m := tso.New(cfg)
+		alloc := NewAllocator(m, 512, nodeWords)
+		h := threads * 3
+		hp := NewHPDomain(m, alloc, HPFenceFree, threads, 3, h+4, cfg.Delta)
+		tb := NewTable(m, hp, alloc, 8)
+		for i := 0; i < threads; i++ {
+			s := seed*31 + int64(i)
+			m.Spawn("w", func(th *tso.Thread) {
+				rng := rand.New(rand.NewSource(s))
+				for k := 0; k < 120; k++ {
+					key := tso.Word(rng.Intn(24))
+					switch rng.Intn(4) {
+					case 0:
+						tb.Insert(th, key)
+					case 1:
+						tb.Delete(th, key)
+					default:
+						tb.Lookup(th, key)
+					}
+				}
+				for i := 0; i < 3; i++ {
+					hp.Clear(th, i)
+				}
+			})
+		}
+		res := m.Run()
+		if res.Err != nil {
+			t.Fatalf("seed=%d: %v", seed, res.Err)
+		}
+		if v := alloc.Violations(); len(v) != 0 {
+			t.Fatalf("seed=%d: violations %v", seed, v[0])
+		}
+		if res.Stats.MaxCommitLatency > cfg.Delta {
+			t.Fatalf("Δ exceeded: %d", res.Stats.MaxCommitLatency)
+		}
+	}
+}
+
+func TestMachineTableBucketValidation(t *testing.T) {
+	m := tso.New(tso.Config{Seed: 1})
+	alloc := NewAllocator(m, 8, nodeWords)
+	hp := NewHPDomain(m, alloc, HPFenced, 1, 3, 4, 0)
+	for _, bad := range []int{0, 3, -8} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("buckets=%d did not panic", bad)
+				}
+			}()
+			NewTable(m, hp, alloc, bad)
+		}()
+	}
+}

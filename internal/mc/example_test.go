@@ -1,0 +1,29 @@
+package mc_test
+
+import (
+	"fmt"
+
+	"tbtso/internal/mc"
+)
+
+// Exhaustively enumerate the store-buffering litmus test under plain
+// TSO and under TBTSO[Δ=1]: the bound provably removes the relaxed
+// outcome.
+func ExampleExplore() {
+	sb := mc.Program{
+		Threads: [][]mc.Op{
+			{mc.St(0, 1), mc.Ld(1, 0)},
+			{mc.St(1, 1), mc.Ld(0, 0)},
+		},
+		Vars: 2, Regs: 1,
+	}
+	tso := mc.Explore(sb, 0)
+	tbtso := mc.Explore(sb, 1)
+	fmt.Println("TSO admits 0/0:     ", tso.Has("T0:r0=0 T1:r0=0"))
+	fmt.Println("TBTSO[1] admits 0/0:", tbtso.Has("T0:r0=0 T1:r0=0"))
+	fmt.Println("TBTSO outcome count:", len(tbtso.Outcomes))
+	// Output:
+	// TSO admits 0/0:      true
+	// TBTSO[1] admits 0/0: false
+	// TBTSO outcome count: 3
+}

@@ -1,0 +1,347 @@
+// Package mc is an exhaustive explicit-state model checker for
+// litmus-sized programs under the TSO and TBTSO memory models. Where
+// internal/tso samples executions of the clocked abstract machine with
+// a seeded scheduler, this package enumerates EVERY interleaving and
+// every drain schedule of a small straight-line program, so statements
+// like "the 0/0 outcome is impossible under TBTSO[Δ=3]" become
+// exhaustive proofs at that bound rather than statistical evidence.
+//
+// The model: each thread is a fixed sequence of operations over a small
+// set of shared variables. A system state is (per-thread program
+// counter and wait progress, per-thread FIFO store buffer with entry
+// ages, memory, registers). Transitions are: execute a thread's next
+// enabled operation, or dequeue the oldest entry of a thread's buffer.
+// Every transition ages all buffered entries by one; under TBTSO[Δ] a
+// state with an entry of age ≥ Δ admits only dequeue transitions for
+// such entries — the temporal bound as a scheduling constraint, exactly
+// the admissibility condition of §2. Δ = 0 means unbounded (plain TSO).
+//
+// Depth-first search with full-state memoization keeps the exploration
+// finite; final register assignments are collected as the program's
+// outcome set.
+package mc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OpKind enumerates the operation alphabet.
+type OpKind int
+
+// The operations.
+const (
+	// OpStore buffers Val into Addr.
+	OpStore OpKind = iota
+	// OpLoad reads Addr (own buffer first, then memory) into Reg.
+	OpLoad
+	// OpFence completes only when the thread's buffer is empty.
+	OpFence
+	// OpRMW atomically adds Val to Addr and stores the OLD value into
+	// Reg; it requires an empty buffer (x86 LOCK semantics).
+	OpRMW
+	// OpWait completes only after Val global transitions have occurred
+	// since it became the thread's next operation — the "wait Δ time
+	// units" of the TBTSO flag principle.
+	OpWait
+)
+
+// Op is one instruction.
+type Op struct {
+	Kind OpKind
+	Addr int
+	Val  int
+	Reg  int
+}
+
+// Convenience constructors.
+func St(addr, val int) Op     { return Op{Kind: OpStore, Addr: addr, Val: val} }
+func Ld(addr, reg int) Op     { return Op{Kind: OpLoad, Addr: addr, Reg: reg} }
+func Fence() Op               { return Op{Kind: OpFence} }
+func RMW(addr, v, reg int) Op { return Op{Kind: OpRMW, Addr: addr, Val: v, Reg: reg} }
+func Wait(n int) Op           { return Op{Kind: OpWait, Val: n} }
+
+// Program is a set of threads over Vars shared variables (all initially
+// zero) and Regs registers per thread (all initially zero).
+type Program struct {
+	Threads [][]Op
+	Vars    int
+	Regs    int
+}
+
+// Result is the outcome of an exhaustive exploration.
+type Result struct {
+	// Outcomes maps canonical register-assignment strings (e.g.
+	// "T0:r0=1 T1:r0=0") to true.
+	Outcomes map[string]bool
+	// States is the number of distinct states visited.
+	States int
+}
+
+// Has reports whether the outcome string was observed.
+func (r Result) Has(outcome string) bool { return r.Outcomes[outcome] }
+
+// List returns the outcomes sorted.
+func (r Result) List() []string {
+	out := make([]string, 0, len(r.Outcomes))
+	for k := range r.Outcomes {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type bufEntry struct {
+	addr, val int
+	age       int
+}
+
+type state struct {
+	pc    []int
+	wait  []int  // remaining Wait transitions per thread
+	armed []bool // whether the thread's current Wait has been armed
+	bufs  [][]bufEntry
+	mem   []int
+	regs  [][]int
+}
+
+func newState(p Program) *state {
+	s := &state{
+		pc:    make([]int, len(p.Threads)),
+		wait:  make([]int, len(p.Threads)),
+		armed: make([]bool, len(p.Threads)),
+		bufs:  make([][]bufEntry, len(p.Threads)),
+		mem:   make([]int, p.Vars),
+		regs:  make([][]int, len(p.Threads)),
+	}
+	for i := range s.regs {
+		s.regs[i] = make([]int, p.Regs)
+	}
+	return s
+}
+
+func (s *state) clone() *state {
+	c := &state{
+		pc:    append([]int(nil), s.pc...),
+		wait:  append([]int(nil), s.wait...),
+		armed: append([]bool(nil), s.armed...),
+		bufs:  make([][]bufEntry, len(s.bufs)),
+		mem:   append([]int(nil), s.mem...),
+		regs:  make([][]int, len(s.regs)),
+	}
+	for i := range s.bufs {
+		c.bufs[i] = append([]bufEntry(nil), s.bufs[i]...)
+	}
+	for i := range s.regs {
+		c.regs[i] = append([]int(nil), s.regs[i]...)
+	}
+	return c
+}
+
+// key canonicalizes the state for memoization.
+func (s *state) key() string {
+	var b strings.Builder
+	for i := range s.pc {
+		fmt.Fprintf(&b, "p%d.%d.%v;", s.pc[i], s.wait[i], s.armed[i])
+		for _, e := range s.bufs[i] {
+			fmt.Fprintf(&b, "%d=%d@%d,", e.addr, e.val, e.age)
+		}
+		b.WriteByte('|')
+		for _, r := range s.regs[i] {
+			fmt.Fprintf(&b, "%d,", r)
+		}
+		b.WriteByte(';')
+	}
+	for _, v := range s.mem {
+		fmt.Fprintf(&b, "%d.", v)
+	}
+	return b.String()
+}
+
+// ageAll advances every buffered entry's age by one, capping at cap
+// (ages beyond the bound are equivalent, which keeps the space finite).
+func (s *state) ageAll(cap int) {
+	for i := range s.bufs {
+		for j := range s.bufs[i] {
+			if s.bufs[i][j].age < cap {
+				s.bufs[i][j].age++
+			}
+		}
+	}
+	for i := range s.wait {
+		if s.wait[i] > 0 {
+			s.wait[i]--
+		}
+	}
+}
+
+func (s *state) outcome() string {
+	var parts []string
+	for i, regs := range s.regs {
+		for r, v := range regs {
+			parts = append(parts, fmt.Sprintf("T%d:r%d=%d", i, r, v))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// DefaultMaxStates bounds an exploration; litmus-sized programs use a
+// few hundred states, so hitting this indicates a program too large for
+// exhaustive checking.
+const DefaultMaxStates = 2_000_000
+
+// Explore exhaustively enumerates all executions of p under TBTSO with
+// the given drain bound Δ in transitions (0 = plain TSO, unbounded).
+// It panics if the state space exceeds DefaultMaxStates; use
+// ExploreBounded to handle truncation explicitly.
+func Explore(p Program, delta int) Result {
+	res, complete := ExploreBounded(p, delta, DefaultMaxStates)
+	if !complete {
+		panic("mc: state space exceeds DefaultMaxStates; program too large for exhaustive checking")
+	}
+	return res
+}
+
+// ExploreBounded is Explore with an explicit state budget; complete
+// reports whether the enumeration finished (when false, Outcomes is a
+// subset and absence proves nothing).
+func ExploreBounded(p Program, delta, maxStates int) (res Result, complete bool) {
+	if len(p.Threads) == 0 {
+		return Result{Outcomes: map[string]bool{"": true}, States: 1}, true
+	}
+	res = Result{Outcomes: map[string]bool{}}
+	complete = true
+	seen := map[string]bool{}
+	ageCap := delta + 1
+	if delta == 0 {
+		ageCap = 0 // ages are irrelevant without a bound; keep them 0
+	}
+
+	var dfs func(s *state)
+	dfs = func(s *state) {
+		if res.States >= maxStates {
+			complete = false
+			return
+		}
+		k := s.key()
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		res.States++
+
+		// Forced dequeues: under TBTSO[Δ] an entry at age ≥ Δ must
+		// leave before anything else happens.
+		if delta > 0 {
+			forced := false
+			for i := range s.bufs {
+				if len(s.bufs[i]) > 0 && s.bufs[i][0].age >= delta {
+					forced = true
+					n := s.clone()
+					e := n.bufs[i][0]
+					n.bufs[i] = n.bufs[i][1:]
+					n.mem[e.addr] = e.val
+					n.ageAll(ageCap)
+					dfs(n)
+				}
+			}
+			if forced {
+				return // only forced transitions are admissible here
+			}
+		}
+
+		progress := false
+		for i, ops := range p.Threads {
+			// Voluntary dequeue.
+			if len(s.bufs[i]) > 0 {
+				progress = true
+				n := s.clone()
+				e := n.bufs[i][0]
+				n.bufs[i] = n.bufs[i][1:]
+				n.mem[e.addr] = e.val
+				n.ageAll(ageCap)
+				dfs(n)
+			}
+			if s.pc[i] >= len(ops) {
+				continue
+			}
+			op := ops[s.pc[i]]
+			switch op.Kind {
+			case OpStore:
+				progress = true
+				n := s.clone()
+				n.bufs[i] = append(n.bufs[i], bufEntry{addr: op.Addr, val: op.Val})
+				n.pc[i]++
+				n.ageAll(ageCap)
+				dfs(n)
+			case OpLoad:
+				progress = true
+				n := s.clone()
+				v := n.mem[op.Addr]
+				for j := len(n.bufs[i]) - 1; j >= 0; j-- {
+					if n.bufs[i][j].addr == op.Addr {
+						v = n.bufs[i][j].val
+						break
+					}
+				}
+				n.regs[i][op.Reg] = v
+				n.pc[i]++
+				n.ageAll(ageCap)
+				dfs(n)
+			case OpFence:
+				if len(s.bufs[i]) == 0 {
+					progress = true
+					n := s.clone()
+					n.pc[i]++
+					n.ageAll(ageCap)
+					dfs(n)
+				}
+			case OpRMW:
+				if len(s.bufs[i]) == 0 {
+					progress = true
+					n := s.clone()
+					old := n.mem[op.Addr]
+					n.regs[i][op.Reg] = old
+					n.mem[op.Addr] = old + op.Val
+					n.pc[i]++
+					n.ageAll(ageCap)
+					dfs(n)
+				}
+			case OpWait:
+				progress = true
+				n := s.clone()
+				switch {
+				case !n.armed[i] && op.Val > 0:
+					// Arm the wait; it elapses as transitions occur.
+					n.armed[i] = true
+					n.wait[i] = op.Val
+				case n.wait[i] == 0:
+					// Elapsed (or zero-length): advance.
+					n.armed[i] = false
+					n.pc[i]++
+				default:
+					// Still pending: burn one transition.
+				}
+				n.ageAll(ageCap)
+				dfs(n)
+			}
+		}
+		if !progress {
+			// Terminal: flush any remaining buffers already handled by
+			// the dequeue transitions above; with empty buffers and all
+			// pcs done, record the outcome.
+			done := true
+			for i := range p.Threads {
+				if s.pc[i] < len(p.Threads[i]) || len(s.bufs[i]) > 0 {
+					done = false
+				}
+			}
+			if done {
+				res.Outcomes[s.outcome()] = true
+			}
+		}
+	}
+	dfs(newState(p))
+	return res, complete
+}

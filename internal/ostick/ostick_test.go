@@ -1,0 +1,63 @@
+package ostick
+
+import (
+	"testing"
+	"time"
+
+	"tbtso/internal/vclock"
+)
+
+func TestBoardAdvances(t *testing.T) {
+	b := NewBoard(4, 2*time.Millisecond)
+	defer b.Stop()
+	t0 := vclock.Now()
+	deadline := time.Now().Add(2 * time.Second)
+	for !b.AllPast(t0) {
+		if time.Now().After(deadline) {
+			t.Fatal("board never advanced past t0")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if b.MinTime() <= t0 {
+		t.Fatalf("MinTime %d <= t0 %d after AllPast", b.MinTime(), t0)
+	}
+}
+
+func TestBoardAdvancesWithoutWorkerCooperation(t *testing.T) {
+	// The defining property vs. quiescence schemes: the "interrupts"
+	// fire regardless of what worker threads do.
+	b := NewBoard(2, time.Millisecond)
+	defer b.Stop()
+	time.Sleep(20 * time.Millisecond)
+	if b.Ticks() == 0 {
+		t.Fatal("no interrupt rounds fired")
+	}
+}
+
+func TestWaitAllPast(t *testing.T) {
+	b := NewBoard(3, time.Millisecond)
+	defer b.Stop()
+	t0 := vclock.Now()
+	done := make(chan struct{})
+	go func() {
+		b.WaitAllPast(t0)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitAllPast hung")
+	}
+}
+
+func TestMinTimeIsMin(t *testing.T) {
+	b := NewBoard(4, time.Hour) // never ticks during the test
+	defer b.Stop()
+	b.slots[2].t.Store(-100)
+	if got := b.MinTime(); got != -100 {
+		t.Fatalf("MinTime = %d, want -100", got)
+	}
+	if b.AllPast(-100) {
+		t.Fatal("AllPast(-100) should be false with an entry == -100")
+	}
+}

@@ -1,0 +1,79 @@
+package quiesce
+
+import (
+	"math/rand"
+	"time"
+
+	"tbtso/internal/stats"
+)
+
+// BailoutResult summarizes a simulation of the §6.1 hardware design:
+// a store that stays buffered past τ forces system-wide quiescence,
+// after which it propagates unopposed.
+type BailoutResult struct {
+	Tau          time.Duration
+	Samples      int
+	Bailouts     int     // stores that hit the τ timeout
+	BailoutRate  float64 // fraction of stores
+	MaxVisible   time.Duration
+	P999         time.Duration
+	DeltaBudget  time.Duration // the Δ the design promises (EstimateDelta)
+	WithinBudget bool          // max <= Δ
+}
+
+// WithBailout simulates store visibility under the §6.1 mechanism: the
+// raw drain-time distribution of StoreVisibilityCDF, but any store
+// whose natural delay would exceed τ instead completes at
+// τ + (time to force quiescence) — the serialized quiescence cost with
+// however many other bailed-out stores are in line (modeled at the
+// configured contention level q, worst case q = hwThreads).
+//
+// The headline property of the design falls out: visibility is bounded
+// by τ + q·ServiceTime ≤ Δ even though the underlying distribution has
+// an unbounded tail, and the timeout fires rarely enough (the paper
+// wants "a timeout that expires rarely") that the common case is
+// untouched.
+func WithBailout(p Params, pl Placement, load Load, samples int, tau time.Duration, contenders, hwThreads int) BailoutResult {
+	rng := rand.New(rand.NewSource(p.Seed ^ 0xb417))
+	h := stats.NewHistogram()
+	res := BailoutResult{Tau: tau, Samples: samples, DeltaBudget: EstimateDelta(p, hwThreads)}
+
+	// Resample the raw distribution of StoreVisibilityCDF (same seed
+	// derivation, so the underlying samples match), applying the
+	// bail-out rule per sample.
+	spikeProb := 0.0005
+	maxSpike := 8 * time.Microsecond
+	if load == LoadStream {
+		spikeProb = 0.003
+		maxSpike = 9500 * time.Nanosecond
+	}
+	rng2 := rand.New(rand.NewSource(p.Seed ^ int64(pl)<<8 ^ int64(load)<<16))
+	var maxSeen int64
+	for i := 0; i < samples; i++ {
+		drain := time.Duration(rng2.ExpFloat64() * 40 * float64(time.Nanosecond))
+		lat := drain + transferCost(pl)
+		if rng2.Float64() < spikeProb {
+			lat += time.Duration(rng2.Float64() * float64(maxSpike))
+		}
+		if rng2.Float64() < 2e-6 {
+			lat += time.Duration(50+50*rng2.Float64()) * time.Microsecond
+		}
+		if lat > tau {
+			// Bail out: quiescence is forced. The store completes at
+			// τ plus the serialized quiescence cost for this store and
+			// up to `contenders` concurrent bailouts.
+			res.Bailouts++
+			q := 1 + rng.Intn(contenders)
+			lat = tau + time.Duration(q)*p.ServiceTime
+		}
+		h.Add(int64(lat))
+		if int64(lat) > maxSeen {
+			maxSeen = int64(lat)
+		}
+	}
+	res.BailoutRate = float64(res.Bailouts) / float64(samples)
+	res.MaxVisible = time.Duration(maxSeen)
+	res.P999 = time.Duration(h.Quantile(0.999))
+	res.WithinBudget = res.MaxVisible <= res.DeltaBudget
+	return res
+}

@@ -1,0 +1,51 @@
+package quiesce
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBailoutBoundsVisibility(t *testing.T) {
+	p := DefaultParams()
+	tau := EstimateTimeout(p)
+	res := WithBailout(p, PlacementCrossSocket, LoadStream, 1_000_000, tau, 80, 80)
+	if !res.WithinBudget {
+		t.Fatalf("max visibility %v exceeds the Δ budget %v", res.MaxVisible, res.DeltaBudget)
+	}
+	if res.MaxVisible > tau+80*p.ServiceTime {
+		t.Fatalf("max %v exceeds τ + worst quiescence", res.MaxVisible)
+	}
+}
+
+func TestBailoutRateIsRare(t *testing.T) {
+	// §6.1.2: τ is chosen so the timeout "expires rarely".
+	p := DefaultParams()
+	tau := EstimateTimeout(p)
+	res := WithBailout(p, PlacementCrossSocket, LoadStream, 1_000_000, tau, 80, 80)
+	if res.BailoutRate > 0.002 {
+		t.Fatalf("bailout rate %.5f — τ=%v fires too often", res.BailoutRate, tau)
+	}
+	if res.Bailouts == 0 {
+		t.Fatal("no bailouts at all — the tail the mechanism exists for is missing")
+	}
+}
+
+func TestBailoutCommonCaseUntouched(t *testing.T) {
+	p := DefaultParams()
+	tau := EstimateTimeout(p)
+	with := WithBailout(p, PlacementSameSocket, LoadIdle, 500_000, tau, 80, 80)
+	without := StoreVisibilityCDF(p, PlacementSameSocket, LoadIdle, 500_000)
+	// Medians must agree: the mechanism only touches the tail.
+	if with.P999 > time.Duration(without.Quantile(0.9999)) {
+		t.Fatalf("bailout disturbed the body of the distribution: p999 %v", with.P999)
+	}
+}
+
+func TestBailoutDeterministic(t *testing.T) {
+	p := DefaultParams()
+	a := WithBailout(p, PlacementSMT, LoadIdle, 100_000, 10*time.Microsecond, 8, 80)
+	b := WithBailout(p, PlacementSMT, LoadIdle, 100_000, 10*time.Microsecond, 8, 80)
+	if a != b {
+		t.Fatalf("not deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,59 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignsColumns(t *testing.T) {
+	tb := NewTable("T", "alpha", "b")
+	tb.AddRow("x", 12)
+	tb.AddRow("longer-cell", 3.14159)
+	tb.AddNote("a note %d", 7)
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"T\n", "alpha", "longer-cell", "3.14", "note: a note 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	// Header and separator must align.
+	var header, sep string
+	for i, l := range lines {
+		if strings.HasPrefix(l, "alpha") {
+			header, sep = l, lines[i+1]
+			break
+		}
+	}
+	if header == "" || !strings.HasPrefix(sep, "-----") {
+		t.Fatalf("missing header/separator:\n%s", out)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(`comma,value`, `quote"v`)
+	var sb strings.Builder
+	tb.CSV(&sb)
+	out := sb.String()
+	if !strings.Contains(out, `"comma,value"`) {
+		t.Fatalf("comma not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"quote""v"`) {
+		t.Fatalf("quote not escaped: %s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Fatalf("missing header: %s", out)
+	}
+}
+
+func TestRowsAccessor(t *testing.T) {
+	tb := NewTable("t", "x")
+	tb.AddRow(1)
+	tb.AddRow(2)
+	if got := len(tb.Rows()); got != 2 {
+		t.Fatalf("rows = %d", got)
+	}
+}

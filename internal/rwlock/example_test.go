@@ -1,0 +1,32 @@
+package rwlock_test
+
+import (
+	"fmt"
+	"time"
+
+	"tbtso/internal/core"
+	"tbtso/internal/rwlock"
+)
+
+// The passive reader-writer lock: readers pay one store and one load —
+// no fence, no read-modify-write — and the writer's acquisition waits
+// out the visibility bound instead of broadcasting IPIs.
+func ExampleNew() {
+	l := rwlock.New(2, core.NewFixedDelta(200*time.Microsecond))
+
+	l.RLock(0) // reader slot 0, fence-free
+	fmt.Println("reader 0 in")
+	l.RLock(1) // readers do not exclude each other
+	fmt.Println("reader 1 in")
+	l.RUnlock(0)
+	l.RUnlock(1)
+
+	start := time.Now()
+	l.Lock() // waits out the bound, then for reader flags to drop
+	fmt.Println("writer in, waited at least the bound:", time.Since(start) >= 100*time.Microsecond)
+	l.Unlock()
+	// Output:
+	// reader 0 in
+	// reader 1 in
+	// writer in, waited at least the bound: true
+}

@@ -1,0 +1,134 @@
+package smr
+
+import (
+	"sync/atomic"
+
+	"tbtso/internal/arena"
+	"tbtso/internal/fence"
+	"tbtso/internal/vclock"
+)
+
+// DTA approximates Braginsky, Kogan and Petrank's "drop the anchor"
+// reclamation [6] at the cost profile the paper measures:
+//
+//   - Fast path (readers): every operation updates a per-thread
+//     timestamp at begin and end, issues a fence, and performs one
+//     anchor compare-and-swap (§7.1.1: "every lookup() operation
+//     updates a per-thread timestamp of when it begins and ends
+//     (including issuing a fence), and sets a per-thread anchor variable
+//     using an atomic compare-and-swap at least once").
+//   - Slow path (updaters): after removing a node, the updater reads
+//     every thread's timestamp (§7.1.1: "an updater reads each thread's
+//     timestamp after removing a node"), which is a cross-core cache
+//     miss per thread and is what makes DTA updates two orders of
+//     magnitude slower.
+//
+// The full DTA algorithm additionally freezes list segments to recover
+// from stalled threads; that machinery gives DTA bounded memory under
+// stalls but does not change the fast-path costs the figures compare,
+// so this reproduction omits it (see DESIGN.md).
+type DTA struct {
+	cfg Config
+	// ts[tid] is the thread's current operation-begin timestamp, or 0
+	// when idle. Read by every updater on retire — the shared-line
+	// traffic DTA pays for.
+	ts      []paddedInt
+	anchors []paddedInt
+	perTh   []dtaThread
+	waste   atomic.Int64
+	fences  *fence.Lines
+}
+
+type dtaThread struct {
+	entries []retired
+	_       [40]byte
+}
+
+// NewDTA returns the drop-the-anchor-style scheme.
+func NewDTA(cfg Config) *DTA {
+	cfg.validate()
+	return &DTA{
+		cfg:     cfg,
+		ts:      make([]paddedInt, cfg.Threads),
+		anchors: make([]paddedInt, cfg.Threads),
+		perTh:   make([]dtaThread, cfg.Threads),
+		fences:  fence.NewLines(cfg.Threads),
+	}
+}
+
+// Name implements Scheme.
+func (d *DTA) Name() string { return string(KindDTA) }
+
+// OpBegin implements Scheme: timestamp + fence + anchor CAS.
+func (d *DTA) OpBegin(tid int, _ uint64) {
+	d.ts[tid].v.Store(vclock.Now())
+	d.fences.Full(tid)
+	a := &d.anchors[tid].v
+	old := a.Load()
+	a.CompareAndSwap(old, old+1)
+}
+
+// OpEnd implements Scheme: timestamp update on exit.
+func (d *DTA) OpEnd(tid int) {
+	d.ts[tid].v.Store(0)
+}
+
+// Protect implements Scheme: traversal is quiescence-protected.
+func (d *DTA) Protect(int, int, arena.Handle) bool { return false }
+
+// Copy implements Scheme.
+func (d *DTA) Copy(int, int, arena.Handle) {}
+
+// Visit implements Scheme.
+func (d *DTA) Visit(int) bool { return false }
+
+// UpdateHint implements Scheme.
+func (d *DTA) UpdateHint(int, uint64) {}
+
+// Retire implements Scheme: record the node, then read every thread's
+// timestamp to free whatever predates all in-flight operations.
+func (d *DTA) Retire(tid int, h arena.Handle) {
+	t := &d.perTh[tid]
+	t.entries = append(t.entries, retired{h: h, t: vclock.Now()})
+	d.waste.Add(1)
+	d.reclaim(tid)
+}
+
+// reclaim frees own entries retired before every in-flight operation
+// began. The min-scan is the expensive cross-thread read.
+func (d *DTA) reclaim(tid int) {
+	cutoff := int64(1<<63 - 1)
+	for i := range d.ts {
+		if v := d.ts[i].v.Load(); v != 0 && v < cutoff {
+			cutoff = v
+		}
+	}
+	t := &d.perTh[tid]
+	kept := t.entries[:0]
+	freed := 0
+	for _, e := range t.entries {
+		if e.t >= cutoff {
+			kept = append(kept, e)
+			continue
+		}
+		d.cfg.Arena.Free(tid, e.h)
+		freed++
+	}
+	for i := len(kept); i < len(t.entries); i++ {
+		t.entries[i] = retired{}
+	}
+	t.entries = kept
+	d.waste.Add(-int64(freed))
+}
+
+// Unreclaimed implements Scheme.
+func (d *DTA) Unreclaimed() int { return int(d.waste.Load()) }
+
+// Flush implements Scheme.
+func (d *DTA) Flush(tid int) {
+	d.ts[tid].v.Store(0)
+	d.reclaim(tid)
+}
+
+// Close implements Scheme.
+func (d *DTA) Close() {}

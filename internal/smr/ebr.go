@@ -1,0 +1,154 @@
+package smr
+
+import (
+	"sync/atomic"
+
+	"tbtso/internal/arena"
+	"tbtso/internal/fence"
+)
+
+// EBR is classic epoch-based reclamation [15]: readers announce the
+// global epoch on entry; a retired node is freed once the global epoch
+// has advanced twice past its retirement epoch, which cannot happen
+// while any reader that might hold it is still active.
+//
+// EBR is the related-work baseline: its read side costs one announce
+// store per operation (cheaper than HP's per-node fence, costlier than
+// QSBR's nothing), and like RCU it is blocking — a stalled reader stops
+// the epoch from advancing.
+type EBR struct {
+	cfg    Config
+	epoch  atomic.Uint64
+	locals []paddedInt // announced epoch<<1 | active
+	perTh  []ebrThread
+	waste  atomic.Int64
+	fences *fence.Lines
+}
+
+type ebrThread struct {
+	bags    [3][]arena.Handle // bags[e%3] holds nodes retired in epoch e
+	bagEpos [3]uint64
+	retires int
+	_       [32]byte
+}
+
+// NewEBR returns an epoch-based scheme.
+func NewEBR(cfg Config) *EBR {
+	cfg.validate()
+	return &EBR{
+		cfg:    cfg,
+		locals: make([]paddedInt, cfg.Threads),
+		perTh:  make([]ebrThread, cfg.Threads),
+		fences: fence.NewLines(cfg.Threads),
+	}
+}
+
+// Name implements Scheme.
+func (e *EBR) Name() string { return string(KindEBR) }
+
+// OpBegin implements Scheme: announce the current epoch as active. The
+// announce store must be ordered before the traversal's loads, which on
+// TSO requires a fence — the cost HP and EBR share and FFHP sheds.
+func (e *EBR) OpBegin(tid int, _ uint64) {
+	cur := e.epoch.Load()
+	e.locals[tid].v.Store(int64(cur<<1 | 1))
+	e.fences.Full(tid)
+}
+
+// OpEnd implements Scheme: go inactive.
+func (e *EBR) OpEnd(tid int) {
+	e.locals[tid].v.Store(0)
+}
+
+// Protect implements Scheme.
+func (e *EBR) Protect(int, int, arena.Handle) bool { return false }
+
+// Copy implements Scheme.
+func (e *EBR) Copy(int, int, arena.Handle) {}
+
+// Visit implements Scheme.
+func (e *EBR) Visit(int) bool { return false }
+
+// UpdateHint implements Scheme.
+func (e *EBR) UpdateHint(int, uint64) {}
+
+// Retire implements Scheme.
+//
+// Bag labeling invariant: bagEpos[slot] ≡ slot (mod 3) whenever the bag
+// is nonempty, so a nonempty bag whose label differs from the current
+// epoch holds nodes retired at least 3 epochs ago — safe to free under
+// the two-epoch rule.
+func (e *EBR) Retire(tid int, h arena.Handle) {
+	t := &e.perTh[tid]
+	cur := e.epoch.Load()
+	slot := cur % 3
+	if t.bagEpos[slot] != cur {
+		e.freeBag(tid, slot) // content is >= 3 epochs old (or empty)
+		t.bagEpos[slot] = cur
+	}
+	t.bags[slot] = append(t.bags[slot], h)
+	e.waste.Add(1)
+	t.retires++
+	if t.retires%e.cfg.R == 0 {
+		e.tryAdvance(tid)
+	}
+}
+
+func (e *EBR) freeBag(tid int, slot uint64) {
+	t := &e.perTh[tid]
+	for _, h := range t.bags[slot] {
+		e.cfg.Arena.Free(tid, h)
+	}
+	e.waste.Add(-int64(len(t.bags[slot])))
+	t.bags[slot] = t.bags[slot][:0]
+}
+
+// tryAdvance bumps the global epoch if every active reader has
+// announced the current one, then frees the bag that became two epochs
+// old.
+func (e *EBR) tryAdvance(tid int) {
+	cur := e.epoch.Load()
+	for i := range e.locals {
+		v := e.locals[i].v.Load()
+		if v&1 == 1 && uint64(v>>1) != cur {
+			return // a reader is still in an older epoch
+		}
+	}
+	if e.epoch.CompareAndSwap(cur, cur+1) {
+		// Our bag (cur-1)%3 holds nodes retired at epoch <= cur-1; the
+		// global epoch is now cur+1 >= retireEpoch+2, so it is safe.
+		// The label is left in place (the bag is empty afterwards and
+		// Retire relabels on next use), preserving the residue
+		// invariant documented on Retire.
+		old := (cur + 2) % 3 // == (cur-1) mod 3
+		e.freeBag(tid, old)
+	}
+}
+
+// Unreclaimed implements Scheme.
+func (e *EBR) Unreclaimed() int { return int(e.waste.Load()) }
+
+// Flush implements Scheme: go inactive, then help the epoch forward
+// and free every own bag that satisfies the two-epoch rule. If another
+// reader stays pinned in an old epoch the epoch cannot advance and some
+// bags stay unreclaimed — EBR is blocking, which is exactly the
+// limitation (§8) that distinguishes it from FFHP.
+func (e *EBR) Flush(tid int) {
+	e.locals[tid].v.Store(0)
+	t := &e.perTh[tid]
+	for attempt := 0; attempt < 64; attempt++ {
+		e.tryAdvance(tid)
+		cur := e.epoch.Load()
+		for slot := uint64(0); slot < 3; slot++ {
+			if len(t.bags[slot]) > 0 && t.bagEpos[slot]+2 <= cur {
+				e.freeBag(tid, slot)
+			}
+		}
+		if len(t.bags[0])+len(t.bags[1])+len(t.bags[2]) == 0 {
+			return
+		}
+	}
+}
+
+// Close implements Scheme.
+func (e *EBR) Close() {}

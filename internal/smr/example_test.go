@@ -1,0 +1,45 @@
+package smr_test
+
+import (
+	"fmt"
+	"time"
+
+	"tbtso/internal/arena"
+	"tbtso/internal/smr"
+)
+
+// FFHP end to end: protect, validate (caller's job), retire, and
+// Δ-deferred reclamation.
+func ExampleNewFFHP() {
+	ar := arena.New(64, 2)
+	ffhp := smr.NewFFHP(smr.Config{
+		Threads: 1,
+		K:       3,
+		R:       8,
+		Arena:   ar,
+		Delta:   time.Millisecond,
+	})
+	defer ffhp.Close()
+
+	node := ar.Alloc(0)
+	ar.SetKey(node, 42)
+
+	// The fast path: publish the hazard pointer with NO fence. The
+	// returned true means "now revalidate your source pointer".
+	needsValidation := ffhp.Protect(0, 0, node)
+	fmt.Println("validate after protect:", needsValidation)
+
+	// Some time later the node is removed from its structure (a CAS
+	// makes the removal globally visible) and retired.
+	ffhp.Protect(0, 0, arena.Nil) // reader moved on
+	ffhp.Retire(0, node)
+
+	// Reclamation defers Δ, then frees.
+	ffhp.Flush(0)
+	fmt.Println("unreclaimed after flush:", ffhp.Unreclaimed())
+	fmt.Println("arena frees:", ar.Frees())
+	// Output:
+	// validate after protect: true
+	// unreclaimed after flush: 0
+	// arena frees: 1
+}

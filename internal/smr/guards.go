@@ -1,0 +1,185 @@
+package smr
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"tbtso/internal/arena"
+	"tbtso/internal/core"
+	"tbtso/internal/fence"
+	"tbtso/internal/vclock"
+)
+
+// Guards implements Herlihy, Luchangco, Martin and Moir's guards [19]
+// in the pass-the-buck style, which §4 notes "differs from hazard
+// pointers only in how removed objects are stored before being
+// reclaimed": instead of per-thread rlists, removed objects go into a
+// shared liberation pool, and any thread's Liberate pass may free any
+// thread's retirees. The same fence-free transformation applies — omit
+// the fence after posting a guard and only liberate objects older than
+// the visibility bound — so both the fenced original and the fence-free
+// variant are provided (NewGuards / NewFFGuards).
+type Guards struct {
+	name    string
+	fenced  bool
+	bound   core.Bound // nil for the fenced original
+	k       int
+	r       int
+	threads int
+	slots   []hpSlot
+	fences  *fence.Lines
+	arena   *arena.Arena
+
+	mu    sync.Mutex
+	pool  []retired // the shared store of removed objects
+	waste atomic.Int64
+
+	liberates atomic.Uint64
+	freed     atomic.Uint64
+}
+
+// NewGuards returns the fenced original.
+func NewGuards(cfg Config) *Guards {
+	cfg.validate()
+	return newGuards(cfg, string(KindGuards), true, nil)
+}
+
+// NewFFGuards returns the fence-free variant over the TBTSO Δ bound.
+func NewFFGuards(cfg Config) *Guards {
+	cfg.validate()
+	return newGuards(cfg, string(KindFFGuards), false, core.NewFixedDelta(cfg.Delta))
+}
+
+func newGuards(cfg Config, name string, fenced bool, bound core.Bound) *Guards {
+	return &Guards{
+		name:    name,
+		fenced:  fenced,
+		bound:   bound,
+		k:       cfg.K,
+		r:       cfg.R,
+		threads: cfg.Threads,
+		slots:   make([]hpSlot, cfg.Threads*cfg.K),
+		fences:  fence.NewLines(cfg.Threads),
+		arena:   cfg.Arena,
+	}
+}
+
+// Name implements Scheme.
+func (g *Guards) Name() string { return g.name }
+
+// OpBegin implements Scheme.
+func (g *Guards) OpBegin(int, uint64) {}
+
+// OpEnd implements Scheme.
+func (g *Guards) OpEnd(int) {}
+
+// Protect implements Scheme: post the guard; the fenced original orders
+// it before the caller's validation read.
+func (g *Guards) Protect(tid, slot int, h arena.Handle) bool {
+	g.slots[tid*g.k+slot].h.Store(uint64(h))
+	if g.fenced {
+		g.fences.Full(tid)
+	}
+	return true
+}
+
+// Copy implements Scheme (§4.1's copy rule holds for guards too).
+func (g *Guards) Copy(tid, slot int, h arena.Handle) {
+	g.slots[tid*g.k+slot].h.Store(uint64(h))
+}
+
+// Visit implements Scheme.
+func (g *Guards) Visit(int) bool { return false }
+
+// UpdateHint implements Scheme.
+func (g *Guards) UpdateHint(int, uint64) {}
+
+// Retire implements Scheme: hand the object to the shared pool; any
+// thread whose retirement tips the pool past R runs a Liberate pass.
+func (g *Guards) Retire(tid int, h arena.Handle) {
+	g.mu.Lock()
+	g.pool = append(g.pool, retired{h: h, t: vclock.Now()})
+	over := len(g.pool) >= g.r
+	g.mu.Unlock()
+	g.waste.Add(1)
+	if over {
+		g.Liberate(tid)
+	}
+}
+
+// Liberate is the pass-the-buck reclamation pass: take the pool, free
+// every sufficiently old object no guard protects, put the rest back.
+// Unlike hazard pointers' per-thread reclaim, it liberates other
+// threads' retirees too.
+func (g *Guards) Liberate(tid int) {
+	g.liberates.Add(1)
+	g.mu.Lock()
+	batch := g.pool
+	g.pool = nil
+	g.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+
+	cutoff := int64(1<<63 - 1)
+	if g.bound != nil {
+		cutoff = g.bound.Cutoff()
+	}
+	guarded := make(map[uint64]struct{}, len(g.slots))
+	for i := range g.slots {
+		if v := g.slots[i].h.Load(); v != 0 {
+			guarded[v] = struct{}{}
+		}
+	}
+
+	kept := batch[:0]
+	freed := 0
+	for _, e := range batch {
+		if e.t >= cutoff {
+			kept = append(kept, e)
+			continue
+		}
+		if _, ok := guarded[uint64(e.h)]; ok {
+			kept = append(kept, e) // pass the buck: someone guards it
+			continue
+		}
+		g.arena.Free(tid, e.h)
+		freed++
+	}
+	g.waste.Add(-int64(freed))
+	g.freed.Add(uint64(freed))
+	if len(kept) > 0 {
+		g.mu.Lock()
+		g.pool = append(g.pool, kept...)
+		g.mu.Unlock()
+	}
+}
+
+// Unreclaimed implements Scheme.
+func (g *Guards) Unreclaimed() int { return int(g.waste.Load()) }
+
+// Flush implements Scheme.
+func (g *Guards) Flush(tid int) {
+	if g.bound != nil {
+		g.mu.Lock()
+		newest := int64(0)
+		for _, e := range g.pool {
+			if e.t > newest {
+				newest = e.t
+			}
+		}
+		g.mu.Unlock()
+		if newest > 0 {
+			g.bound.Wait(newest)
+		}
+	}
+	g.Liberate(tid)
+}
+
+// Close implements Scheme.
+func (g *Guards) Close() {}
+
+// Stats reports liberation passes and total frees.
+func (g *Guards) Stats() (liberates, freed uint64) {
+	return g.liberates.Load(), g.freed.Load()
+}

@@ -1,0 +1,95 @@
+package smr
+
+import (
+	"testing"
+	"time"
+
+	"tbtso/internal/arena"
+)
+
+func TestGuardsProtectedObjectSurvivesLiberation(t *testing.T) {
+	cfg := testConfig(2)
+	g := NewGuards(cfg)
+	defer g.Close()
+	h := cfg.Arena.Alloc(0)
+	g.Protect(1, 0, h)
+	g.Retire(0, h)
+	for i := 0; i < cfg.R+2; i++ {
+		g.Retire(0, cfg.Arena.Alloc(0))
+	}
+	_ = cfg.Arena.Key(h)
+	if cfg.Arena.Violations() != 0 {
+		t.Fatal("guarded object was liberated")
+	}
+	g.Protect(1, 0, arena.Nil)
+	g.Liberate(0)
+	if got := g.Unreclaimed(); got != 0 {
+		t.Fatalf("unreclaimed = %d after unguard + liberate", got)
+	}
+}
+
+func TestGuardsPoolIsShared(t *testing.T) {
+	// The defining difference from hazard pointers: thread 1 can
+	// liberate what thread 0 retired.
+	cfg := testConfig(2)
+	g := NewGuards(cfg)
+	defer g.Close()
+	for i := 0; i < 5; i++ {
+		g.Retire(0, cfg.Arena.Alloc(0))
+	}
+	g.Liberate(1)
+	if got := g.Unreclaimed(); got != 0 {
+		t.Fatalf("thread 1 failed to liberate thread 0's retirees: %d left", got)
+	}
+	if cfg.Arena.Frees() != 5 {
+		t.Fatalf("frees = %d", cfg.Arena.Frees())
+	}
+}
+
+func TestFFGuardsDeferYoungObjects(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.Delta = 50 * time.Millisecond
+	g := NewFFGuards(cfg)
+	defer g.Close()
+	g.Retire(0, cfg.Arena.Alloc(0))
+	g.Liberate(0)
+	if got := g.Unreclaimed(); got != 1 {
+		t.Fatalf("fence-free guards liberated an object younger than Δ")
+	}
+}
+
+func TestFFGuardsFlushWaitsOutDelta(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.Delta = 3 * time.Millisecond
+	g := NewFFGuards(cfg)
+	defer g.Close()
+	g.Retire(0, cfg.Arena.Alloc(0))
+	start := time.Now()
+	g.Flush(0)
+	if g.Unreclaimed() != 0 {
+		t.Fatal("flush left objects behind")
+	}
+	if time.Since(start) < cfg.Delta/2 {
+		t.Fatal("flush did not wait out Δ")
+	}
+}
+
+func TestGuardsViaRegistry(t *testing.T) {
+	for _, k := range []Kind{KindGuards, KindFFGuards} {
+		s := New(k, testConfig(2))
+		if s.Name() != string(k) {
+			t.Fatalf("name = %q", s.Name())
+		}
+		s.Retire(0, testConfigArena(s))
+		s.Close()
+	}
+}
+
+// testConfigArena allocs a node from the scheme's arena via a tiny
+// type switch (keeps the registry test self-contained).
+func testConfigArena(s Scheme) arena.Handle {
+	if g, ok := s.(*Guards); ok {
+		return g.arena.Alloc(0)
+	}
+	panic("unexpected scheme")
+}

@@ -1,0 +1,199 @@
+package smr
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tbtso/internal/arena"
+)
+
+// RCU is a quiescent-state-based userspace RCU [26, 10]: readers impose
+// zero fast-path overhead beyond announcing a quiescent state between
+// operations; writers retire nodes into per-thread bags that a
+// background reclaimer frees after a grace period.
+//
+// Two properties of the paper's evaluation fall out of this structure:
+//
+//   - Reclamation lags retirement (the background thread "periodically
+//     wakes up and frees memory"), so RCU holds ~40% more waste memory
+//     than hazard pointers even with no stalls (Figure 7).
+//   - A reader stalled *inside* an operation blocks the grace period
+//     entirely, so waste memory grows with the stall (Figure 7's trend),
+//     unlike FFHP whose bound is per-thread R.
+type RCU struct {
+	cfg Config
+
+	// qs[tid] counts quiescent states; bit 63 marks the thread offline.
+	qs []paddedInt
+
+	mu   sync.Mutex // guards bags handed to the reclaimer
+	bags [][]arena.Handle
+
+	pending []rcuBatch
+	waste   atomic.Int64 // retired, not yet freed
+
+	period time.Duration
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+const rcuOffline = int64(1) << 62
+
+type rcuBatch struct {
+	nodes []arena.Handle
+	snap  []int64 // qs snapshot at batch creation
+}
+
+// DefaultGracePeriod is the reclaimer's wakeup period.
+const DefaultGracePeriod = time.Millisecond
+
+// NewRCU starts the background reclaimer.
+func NewRCU(cfg Config) *RCU {
+	cfg.validate()
+	r := &RCU{
+		cfg:    cfg,
+		qs:     make([]paddedInt, cfg.Threads),
+		bags:   make([][]arena.Handle, cfg.Threads),
+		period: DefaultGracePeriod,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go r.reclaimer()
+	return r
+}
+
+// Name implements Scheme.
+func (r *RCU) Name() string { return string(KindRCU) }
+
+// OpBegin implements Scheme. QSBR read-side entry is free.
+func (r *RCU) OpBegin(int, uint64) {}
+
+// OpEnd implements Scheme: passing between operations is the quiescent
+// state. A single plain atomic increment — no fence, no shared-line
+// contention — which is why RCU is the paper's zero-overhead yardstick.
+func (r *RCU) OpEnd(tid int) {
+	r.qs[tid].v.Add(1)
+}
+
+// Protect implements Scheme: no per-node work, no validation needed —
+// nodes cannot be freed while any reader is mid-operation.
+func (r *RCU) Protect(int, int, arena.Handle) bool { return false }
+
+// Copy implements Scheme.
+func (r *RCU) Copy(int, int, arena.Handle) {}
+
+// Visit implements Scheme.
+func (r *RCU) Visit(int) bool { return false }
+
+// UpdateHint implements Scheme.
+func (r *RCU) UpdateHint(int, uint64) {}
+
+// Retire implements Scheme: call_rcu-style deferred free.
+func (r *RCU) Retire(tid int, h arena.Handle) {
+	r.mu.Lock()
+	r.bags[tid] = append(r.bags[tid], h)
+	r.mu.Unlock()
+	r.waste.Add(1)
+}
+
+// Offline marks tid as permanently quiescent (worker exiting).
+// Idempotent: calling it twice must not wrap the counter back below the
+// offline threshold.
+func (r *RCU) Offline(tid int) {
+	for {
+		cur := r.qs[tid].v.Load()
+		if cur >= rcuOffline {
+			return
+		}
+		if r.qs[tid].v.CompareAndSwap(cur, cur+rcuOffline) {
+			return
+		}
+	}
+}
+
+// Unreclaimed implements Scheme.
+func (r *RCU) Unreclaimed() int { return int(r.waste.Load()) }
+
+// Flush implements Scheme. Only the background thread frees; Flush
+// announces the caller's own quiescence repeatedly and waits a bounded
+// number of reclaimer wakeups. It must never fake other threads'
+// quiescent states — they may be mid-operation.
+func (r *RCU) Flush(tid int) {
+	r.qs[tid].v.Add(1)
+	deadline := time.Now().Add(50 * r.period)
+	for r.waste.Load() > 0 && time.Now().Before(deadline) {
+		r.qs[tid].v.Add(1) // the caller is quiescent; keep announcing
+		time.Sleep(r.period)
+	}
+}
+
+// Close implements Scheme.
+func (r *RCU) Close() {
+	close(r.stop)
+	<-r.done
+}
+
+func (r *RCU) snapshot() []int64 {
+	s := make([]int64, len(r.qs))
+	for i := range r.qs {
+		s[i] = r.qs[i].v.Load()
+	}
+	return s
+}
+
+// graceElapsed reports whether every thread has either advanced past
+// its snapshot or gone offline.
+func (r *RCU) graceElapsed(snap []int64) bool {
+	for i := range r.qs {
+		cur := r.qs[i].v.Load()
+		if cur >= rcuOffline {
+			continue // offline
+		}
+		if cur == snap[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *RCU) reclaimer() {
+	defer close(r.done)
+	tick := time.NewTicker(r.period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+		}
+		// Collect new retirements into a batch stamped with the current
+		// quiescence snapshot.
+		r.mu.Lock()
+		var nodes []arena.Handle
+		for i := range r.bags {
+			if len(r.bags[i]) > 0 {
+				nodes = append(nodes, r.bags[i]...)
+				r.bags[i] = r.bags[i][:0]
+			}
+		}
+		r.mu.Unlock()
+		if len(nodes) > 0 {
+			r.pending = append(r.pending, rcuBatch{nodes: nodes, snap: r.snapshot()})
+		}
+		// Free batches whose grace period elapsed. The reclaimer has no
+		// worker tid, so it bypasses the per-thread caches.
+		kept := r.pending[:0]
+		for _, b := range r.pending {
+			if r.graceElapsed(b.snap) {
+				for _, h := range b.nodes {
+					r.cfg.Arena.FreeShared(h)
+				}
+				r.waste.Add(-int64(len(b.nodes)))
+			} else {
+				kept = append(kept, b)
+			}
+		}
+		r.pending = kept
+	}
+}

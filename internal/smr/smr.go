@@ -1,0 +1,212 @@
+// Package smr implements safe memory reclamation schemes over the
+// unmanaged arena: the paper's fence-free hazard pointers (FFHP, §4)
+// and every baseline its evaluation compares against — standard hazard
+// pointers (HP), quiescence-state-based RCU, epoch-based reclamation
+// (EBR), a drop-the-anchor-style timestamp scheme (DTA), and a
+// simulated-HTM StackTrack.
+//
+// All schemes implement the Scheme interface, which is shaped around
+// Michael's list traversal protocol (internal/list): operations are
+// bracketed by OpBegin/OpEnd, pointer-based schemes publish handles via
+// Protect/Copy and request source revalidation, transactional schemes
+// may demand a restart from Visit, and removed nodes are handed to
+// Retire once their removal is globally visible.
+package smr
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"tbtso/internal/arena"
+	"tbtso/internal/core"
+	"tbtso/internal/ostick"
+)
+
+// Scheme is a pluggable reclamation scheme. Methods taking tid are
+// called only by worker tid, concurrently across workers.
+type Scheme interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// OpBegin brackets the start of one data-structure operation.
+	// shard identifies the region being accessed (hash bucket index);
+	// transactional schemes use it for conflict tracking.
+	OpBegin(tid int, shard uint64)
+	// OpEnd brackets the end of the operation.
+	OpEnd(tid int)
+	// Protect announces that tid will dereference h through protection
+	// slot `slot`; it reports whether the caller must revalidate the
+	// pointer it read h from (the hazard-pointer validation step).
+	Protect(tid, slot int, h arena.Handle) (validate bool)
+	// Copy re-publishes an already protected handle into slot (which
+	// must be higher than the slot currently protecting it). Never
+	// requires validation (§4.1, copying hazard pointers).
+	Copy(tid, slot int, h arena.Handle)
+	// Visit is called once per traversed node. It reports whether the
+	// operation must restart (a transactional scheme aborted).
+	Visit(tid int) (restart bool)
+	// UpdateHint notifies the scheme of a successful structural update
+	// in shard (transactional schemes bump conflict versions).
+	UpdateHint(tid int, shard uint64)
+	// Retire hands a removed node to the scheme for deferred free. The
+	// removal must already be globally visible; the list's removal CAS
+	// guarantees that.
+	Retire(tid int, h arena.Handle)
+	// Unreclaimed reports how many retired nodes are not yet freed —
+	// the "waste" memory of Figure 7.
+	Unreclaimed() int
+	// Flush frees everything currently safe to free for tid, waiting
+	// for visibility/grace as needed. Quiescent use only.
+	Flush(tid int)
+	// Close releases background resources (reclaimer goroutines,
+	// tickers). The scheme must not be used afterwards.
+	Close()
+}
+
+// Config carries the parameters shared by scheme constructors.
+type Config struct {
+	// Threads is the number of workers (tids 0..Threads-1).
+	Threads int
+	// K is the number of protection slots per thread (hazard pointers).
+	K int
+	// R is the retirement threshold (§4.1). Must exceed Threads*K for
+	// the hazard-pointer schemes.
+	R int
+	// Arena is the node pool retired nodes are freed into.
+	Arena *arena.Arena
+	// Delta is the TBTSO visibility bound used by FFHP (0.5 ms for the
+	// hardware model, unused by other schemes).
+	Delta time.Duration
+	// Board, if non-nil, selects the §6.2 adapted variant for FFHP:
+	// visibility is established from the time array instead of Δ.
+	Board *ostick.Board
+}
+
+func (c Config) validate() {
+	if c.Threads <= 0 || c.K <= 0 {
+		panic("smr: Threads and K must be positive")
+	}
+	if c.Arena == nil {
+		panic("smr: Arena required")
+	}
+	if c.R <= c.Threads*c.K {
+		panic(fmt.Sprintf("smr: R=%d must exceed H=%d", c.R, c.Threads*c.K))
+	}
+}
+
+// Kind names a scheme for the registry.
+type Kind string
+
+// The schemes of the evaluation (§7.1).
+const (
+	KindHP        Kind = "HP"         // standard hazard pointers [28]
+	KindFFHP      Kind = "FFHP"       // fence-free hazard pointers (§4), Δ bound
+	KindFFHPTicks Kind = "FFHP-adpt"  // FFHP adapted to x86 via the OS board (§6.2)
+	KindRCU       Kind = "RCU"        // QSBR userspace RCU [26]
+	KindEBR       Kind = "EBR"        // epoch-based reclamation [15]
+	KindDTA       Kind = "DTA"        // drop-the-anchor-style timestamps [6]
+	KindStack     Kind = "StackTrack" // simulated-HTM StackTrack [4]
+	KindLeak      Kind = "none"       // no reclamation (overhead floor)
+	// Guards variants [19] — §4 notes FFHP's ideas apply to them too.
+	KindGuards   Kind = "Guards"
+	KindFFGuards Kind = "FFGuards"
+)
+
+// New constructs a scheme by kind.
+func New(kind Kind, cfg Config) Scheme {
+	switch kind {
+	case KindHP:
+		return NewHP(cfg)
+	case KindFFHP:
+		return NewFFHP(cfg)
+	case KindFFHPTicks:
+		if cfg.Board == nil {
+			panic("smr: FFHP-adpt requires Config.Board")
+		}
+		return NewFFHPBound(cfg, core.NewTickBoard(cfg.Board))
+	case KindRCU:
+		return NewRCU(cfg)
+	case KindEBR:
+		return NewEBR(cfg)
+	case KindDTA:
+		return NewDTA(cfg)
+	case KindStack:
+		return NewStackTrack(cfg)
+	case KindLeak:
+		return NewLeaky(cfg)
+	case KindGuards:
+		return NewGuards(cfg)
+	case KindFFGuards:
+		return NewFFGuards(cfg)
+	default:
+		panic(fmt.Sprintf("smr: unknown scheme kind %q", kind))
+	}
+}
+
+// AllKinds lists every scheme, in the order the evaluation reports.
+func AllKinds() []Kind {
+	return []Kind{KindFFHP, KindFFHPTicks, KindHP, KindRCU, KindEBR, KindDTA, KindStack}
+}
+
+// retired is an rlist entry: an <object, time> pair (Figure 2b).
+type retired struct {
+	h arena.Handle
+	t int64
+}
+
+// Leaky never reclaims: the zero-overhead, unbounded-memory floor used
+// by ablation benchmarks.
+type Leaky struct {
+	cfg    Config
+	counts []paddedInt
+}
+
+type paddedInt struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// NewLeaky returns the no-reclamation scheme.
+func NewLeaky(cfg Config) *Leaky {
+	cfg.validate()
+	return &Leaky{cfg: cfg, counts: make([]paddedInt, cfg.Threads)}
+}
+
+// Name implements Scheme.
+func (l *Leaky) Name() string { return string(KindLeak) }
+
+// OpBegin implements Scheme.
+func (l *Leaky) OpBegin(int, uint64) {}
+
+// OpEnd implements Scheme.
+func (l *Leaky) OpEnd(int) {}
+
+// Protect implements Scheme.
+func (l *Leaky) Protect(int, int, arena.Handle) bool { return false }
+
+// Copy implements Scheme.
+func (l *Leaky) Copy(int, int, arena.Handle) {}
+
+// Visit implements Scheme.
+func (l *Leaky) Visit(int) bool { return false }
+
+// UpdateHint implements Scheme.
+func (l *Leaky) UpdateHint(int, uint64) {}
+
+// Retire implements Scheme by leaking the node.
+func (l *Leaky) Retire(tid int, _ arena.Handle) { l.counts[tid].v.Add(1) }
+
+// Unreclaimed implements Scheme.
+func (l *Leaky) Unreclaimed() int {
+	n := 0
+	for i := range l.counts {
+		n += int(l.counts[i].v.Load())
+	}
+	return n
+}
+
+// Flush implements Scheme.
+func (l *Leaky) Flush(int) {}
+
+// Close implements Scheme.
+func (l *Leaky) Close() {}

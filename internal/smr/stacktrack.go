@@ -1,0 +1,134 @@
+package smr
+
+import (
+	"tbtso/internal/arena"
+	"tbtso/internal/fence"
+)
+
+// stShards is the granularity of conflict tracking (hash buckets map
+// onto these version words).
+const stShards = 256
+
+// stSplitVisits is the simulated HTM capacity: a transaction that
+// visits more nodes than this must split — commit the current segment
+// and start a new one — mirroring StackTrack's reaction to capacity
+// aborts (§7.1.1: "StackTrack starts to experience transaction capacity
+// aborts, forcing it to split each operation into multiple
+// transactions").
+const stSplitVisits = 48
+
+// StackTrack simulates Alistarh et al.'s HTM-based reclamation [4] at
+// the cost profile the paper measures. Hardware transactional memory is
+// not reachable from Go, so the transaction mechanics are modeled (see
+// DESIGN.md): an operation runs as a speculative segment validated
+// against a per-shard version word that updaters bump; begin/commit
+// each cost a serializing instruction (as HTM begin/commit do), a
+// conflicting update aborts the operation (Visit returns restart), and
+// operations longer than the capacity split into multiple segments.
+// Reclamation piggybacks on an internal epoch scheme: with every
+// traversal inside a transaction, a freed node would abort its readers,
+// so nodes can be freed as soon as concurrent operations finish.
+type StackTrack struct {
+	cfg      Config
+	versions []paddedInt // per-shard conflict versions
+	perTh    []stThread
+	inner    *EBR // reclamation substrate (transactions make frees safe)
+	fences   *fence.Lines
+}
+
+type stThread struct {
+	shard    uint64
+	startVer int64
+	visits   int
+	aborts   uint64
+	splits   uint64
+	txns     uint64
+	_        [16]byte
+}
+
+// NewStackTrack returns the simulated-HTM scheme.
+func NewStackTrack(cfg Config) *StackTrack {
+	cfg.validate()
+	return &StackTrack{
+		cfg:      cfg,
+		versions: make([]paddedInt, stShards),
+		perTh:    make([]stThread, cfg.Threads),
+		inner:    NewEBR(cfg),
+		fences:   fence.NewLines(cfg.Threads),
+	}
+}
+
+// Name implements Scheme.
+func (s *StackTrack) Name() string { return string(KindStack) }
+
+// OpBegin implements Scheme: transaction begin.
+func (s *StackTrack) OpBegin(tid int, shard uint64) {
+	t := &s.perTh[tid]
+	t.shard = shard % stShards
+	t.startVer = s.versions[t.shard].v.Load()
+	t.visits = 0
+	t.txns++
+	s.fences.Full(tid) // XBEGIN-equivalent serialization cost
+	s.inner.OpBegin(tid, shard)
+}
+
+// OpEnd implements Scheme: final commit.
+func (s *StackTrack) OpEnd(tid int) {
+	s.fences.Full(tid) // XEND-equivalent
+	s.inner.OpEnd(tid)
+}
+
+// Protect implements Scheme: nodes read inside a transaction need no
+// per-node publication.
+func (s *StackTrack) Protect(int, int, arena.Handle) bool { return false }
+
+// Copy implements Scheme.
+func (s *StackTrack) Copy(int, int, arena.Handle) {}
+
+// Visit implements Scheme: per-node work — detect conflicts, split on
+// capacity.
+func (s *StackTrack) Visit(tid int) bool {
+	t := &s.perTh[tid]
+	t.visits++
+	if t.visits%stSplitVisits != 0 {
+		return false
+	}
+	cur := s.versions[t.shard].v.Load()
+	if cur != t.startVer {
+		// Conflict: abort and restart the operation.
+		t.aborts++
+		t.startVer = cur
+		t.visits = 0
+		return true
+	}
+	// Capacity split: commit this segment, begin the next.
+	t.splits++
+	s.fences.Full(tid)
+	return false
+}
+
+// UpdateHint implements Scheme: a structural update is a conflict for
+// every transaction reading the shard.
+func (s *StackTrack) UpdateHint(_ int, shard uint64) {
+	s.versions[shard%stShards].v.Add(1)
+}
+
+// Retire implements Scheme.
+func (s *StackTrack) Retire(tid int, h arena.Handle) {
+	s.inner.Retire(tid, h)
+}
+
+// Unreclaimed implements Scheme.
+func (s *StackTrack) Unreclaimed() int { return s.inner.Unreclaimed() }
+
+// Flush implements Scheme.
+func (s *StackTrack) Flush(tid int) { s.inner.Flush(tid) }
+
+// Close implements Scheme.
+func (s *StackTrack) Close() { s.inner.Close() }
+
+// TxnStats reports transactions, aborts and splits for tid.
+func (s *StackTrack) TxnStats(tid int) (txns, aborts, splits uint64) {
+	t := &s.perTh[tid]
+	return t.txns, t.aborts, t.splits
+}

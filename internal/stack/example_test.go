@@ -1,0 +1,36 @@
+package stack_test
+
+import (
+	"fmt"
+	"time"
+
+	"tbtso/internal/arena"
+	"tbtso/internal/smr"
+	"tbtso/internal/stack"
+)
+
+// A Treiber stack with fence-free hazard-pointer protection: pops
+// publish one hazard pointer per attempt and retire the node they win.
+func Example() {
+	ar := arena.New(64, 2)
+	s := smr.New(smr.KindFFHP, smr.Config{
+		Threads: 1, K: stack.NumSlots, R: 16,
+		Arena: ar, Delta: 500 * time.Microsecond,
+	})
+	defer s.Close()
+
+	st := stack.New(ar, s, 0)
+	st.Push(0, 10)
+	st.Push(0, 20)
+
+	v, _ := st.Pop(0)
+	fmt.Println("popped:", v)
+	fmt.Println("left:", st.Len())
+
+	s.Flush(0) // reclaim the popped node after Δ
+	fmt.Println("violations:", ar.Violations())
+	// Output:
+	// popped: 20
+	// left: 1
+	// violations: 0
+}

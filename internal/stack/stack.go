@@ -1,0 +1,92 @@
+// Package stack implements a Treiber stack over the unmanaged arena
+// with pluggable safe memory reclamation — the other classic consumer
+// of hazard pointers (Michael's original paper [28] uses it as the
+// introductory example). It exists to show the smr.Scheme protocol is
+// not list-shaped: one protection slot, one validation, same fence-free
+// story under FFHP.
+package stack
+
+import (
+	"sync/atomic"
+
+	"tbtso/internal/arena"
+	"tbtso/internal/smr"
+)
+
+// NumSlots is the number of protection slots the stack requires.
+const NumSlots = 1
+
+// Stack is a concurrent LIFO of uint64 values.
+type Stack struct {
+	top   atomic.Uint64 // an arena.MarkWord with the mark unused
+	ar    *arena.Arena
+	smr   smr.Scheme
+	shard uint64
+}
+
+// New creates a stack whose nodes come from ar and whose reclamation is
+// managed by s.
+func New(ar *arena.Arena, s smr.Scheme, shard uint64) *Stack {
+	return &Stack{ar: ar, smr: s, shard: shard}
+}
+
+// Push adds v. It reports false if the arena is exhausted.
+func (st *Stack) Push(tid int, v uint64) bool {
+	st.smr.OpBegin(tid, st.shard)
+	defer st.smr.OpEnd(tid)
+	n := st.ar.Alloc(tid)
+	if n.IsNil() {
+		return false
+	}
+	st.ar.SetKey(n, v)
+	for {
+		old := arena.MarkWord(st.top.Load())
+		st.ar.SetNext(n, old)
+		if st.top.CompareAndSwap(uint64(old), uint64(arena.Pack(n, false))) {
+			st.smr.UpdateHint(tid, st.shard)
+			return true
+		}
+	}
+}
+
+// Pop removes the most recently pushed value; ok is false when empty.
+// The pop fast path is the hazard-pointer protocol in miniature:
+// protect the observed top, revalidate it (pointer-based schemes), read
+// through it, and CAS it out.
+func (st *Stack) Pop(tid int) (v uint64, ok bool) {
+	st.smr.OpBegin(tid, st.shard)
+	defer st.smr.OpEnd(tid)
+	for {
+		if st.smr.Visit(tid) {
+			continue // transactional scheme aborted
+		}
+		tw := arena.MarkWord(st.top.Load())
+		t := tw.Handle()
+		if t.IsNil() {
+			return 0, false
+		}
+		if st.smr.Protect(tid, 0, t) {
+			if arena.MarkWord(st.top.Load()) != tw {
+				continue // top moved between read and publication
+			}
+		}
+		next := st.ar.Next(t)
+		if !st.top.CompareAndSwap(uint64(tw), uint64(next)) {
+			continue
+		}
+		v = st.ar.Key(t)
+		st.smr.UpdateHint(tid, st.shard)
+		st.smr.Retire(tid, t)
+		return v, true
+	}
+}
+
+// Len counts nodes. Quiescent use only.
+func (st *Stack) Len() int {
+	n := 0
+	for h := arena.MarkWord(st.top.Load()).Handle(); !h.IsNil(); {
+		n++
+		h = st.ar.Next(h).Handle()
+	}
+	return n
+}

@@ -1,0 +1,350 @@
+package tso
+
+import "fmt"
+
+// Run starts every spawned thread and drives the machine until all
+// threads finish, MaxTicks elapses, or a thread panics. After the last
+// thread finishes, remaining buffered stores are flushed to memory so
+// the final memory state is a legal completion of the execution.
+func (m *Machine) Run() Result {
+	if m.started {
+		panic("tso: Run called twice")
+	}
+	m.started = true
+	n := len(m.threads)
+	m.sb = make([][]sbEntry, n)
+	m.pending = make([]*request, n)
+	m.drained = make([]bool, n)
+
+	for i, ts := range m.threads {
+		t := &Thread{m: m, id: i, ts: ts}
+		go func(ts *threadState, t *Thread) {
+			defer func() {
+				if r := recover(); r != nil && r != errHalted { //nolint:errorlint // sentinel identity
+					m.fail(fmt.Errorf("tso: thread %d (%s) panicked: %v", t.id, ts.name, r))
+				}
+				close(ts.req)
+			}()
+			ts.fn(t)
+		}(ts, t)
+	}
+
+	alive := n
+	for alive > 0 {
+		// Gather one request from every live thread that has none
+		// pending. Threads are in lockstep: local computation happens
+		// while the machine waits here.
+		for i, ts := range m.threads {
+			if ts.done || m.pending[i] != nil {
+				continue
+			}
+			select {
+			case r, ok := <-ts.req:
+				if !ok {
+					ts.done = true
+					alive--
+					continue
+				}
+				m.pending[i] = r
+			case <-m.halted:
+				return m.finish()
+			}
+		}
+		if alive == 0 {
+			break
+		}
+		if m.clock >= m.cfg.MaxTicks {
+			m.fail(ErrMaxTicks)
+			return m.finish()
+		}
+		m.clock++
+		m.tick()
+		if err := m.failure(); err != nil {
+			return m.finish()
+		}
+	}
+	// All threads finished; flush remaining buffered stores.
+	for i := range m.sb {
+		for len(m.sb[i]) > 0 {
+			m.commitOldest(i)
+		}
+	}
+	return m.finish()
+}
+
+func (m *Machine) finish() Result {
+	err := m.failure()
+	if err != nil {
+		// Halt any thread goroutines still blocked on the machine.
+		// fail() is idempotent, so this is safe if already halted.
+		m.fail(err)
+	}
+	return Result{Ticks: m.clock, Stats: m.stats, Err: err}
+}
+
+// tick executes one time unit: forced Δ-bound dequeues first, then
+// voluntary dequeues per the drain policy, then at most one pending
+// instruction per thread in seeded-random order. A thread whose action
+// this tick was a dequeue does not also execute an instruction.
+func (m *Machine) tick() {
+	for i := range m.drained {
+		m.drained[i] = false
+	}
+	m.osTicks()
+	m.forcedDrains()
+	m.policyDrains()
+
+	order := m.rng.Perm(len(m.threads))
+	for _, i := range order {
+		r := m.pending[i]
+		if r == nil || m.drained[i] {
+			continue
+		}
+		if m.cfg.StallProb > 0 && !r.locked && m.rng.Float64() < m.cfg.StallProb {
+			continue
+		}
+		if m.exec(i, r) {
+			m.pending[i] = nil
+		}
+	}
+}
+
+// osTicks models the §6.2 timer interrupts: when thread i's
+// phase-staggered timer fires, its store buffer drains completely (a
+// user/kernel transition drains the buffer on x86) and the OS stamps
+// the time array A[i]. Like forced drains, interrupt drains ignore the
+// memory-subsystem lock (the lock models RMW atomicity, not interrupt
+// masking on other cores).
+func (m *Machine) osTicks() {
+	p := m.cfg.TickPeriod
+	if p == 0 {
+		return
+	}
+	n := uint64(len(m.threads))
+	for i := range m.threads {
+		phase := uint64(i) * p / n
+		if (m.clock+phase)%p != 0 {
+			continue
+		}
+		for len(m.sb[i]) > 0 {
+			m.commitOldest(i)
+		}
+		m.drained[i] = true // the interrupt consumed this thread's slot
+		if m.cfg.TickBoard != 0 {
+			m.mem[m.cfg.TickBoard+Addr(i)] = Word(m.clock)
+		}
+	}
+}
+
+// lockFreeFor reports whether the memory subsystem lock permits an
+// action on behalf of thread i (actions #1–#4 of the model).
+func (m *Machine) lockFreeFor(i int) bool {
+	return m.holder == -1 || m.holder == i
+}
+
+// forcedDrains dequeues stores whose Δ deadline is near. The machine
+// starts forcing DrainMargin ticks early, and — unlike voluntary
+// dequeues — forced dequeues ignore the memory subsystem lock: the lock
+// is a modeling device for RMW atomicity, and on real hardware another
+// core's store buffer drains into its own cache regardless of a LOCK
+// operation elsewhere. Allowing the dequeue strictly reduces observable
+// reordering and keeps the Δ bound exact; the commit-time check in
+// commitOldest verifies the bound actually held.
+func (m *Machine) forcedDrains() {
+	if m.cfg.Delta == 0 {
+		return
+	}
+	trigger := m.cfg.Delta - m.cfg.DrainMargin
+	for i := range m.sb {
+		if len(m.sb[i]) == 0 {
+			continue
+		}
+		if m.sb[i][0].enq+trigger <= m.clock {
+			m.commitOldest(i)
+			if !m.cfg.ParallelDrains {
+				m.drained[i] = true
+			}
+			m.stats.ForcedDrains++
+		}
+	}
+}
+
+// policyDrains performs voluntary dequeues per the configured policy.
+func (m *Machine) policyDrains() {
+	for i := range m.sb {
+		if m.drained[i] || len(m.sb[i]) == 0 || !m.lockFreeFor(i) {
+			continue
+		}
+		switch m.cfg.Policy {
+		case DrainEager:
+			// fall through to drain
+		case DrainRandom:
+			if m.rng.Intn(2) == 0 {
+				continue
+			}
+		case DrainAdversarial:
+			continue
+		}
+		m.commitOldest(i)
+		if !m.cfg.ParallelDrains {
+			m.drained[i] = true
+		}
+	}
+}
+
+// commitOldest writes thread i's oldest buffered store to memory.
+func (m *Machine) commitOldest(i int) {
+	e := m.sb[i][0]
+	m.sb[i] = m.sb[i][1:]
+	m.mem[e.addr] = e.val
+	m.stats.Commits++
+	lat := m.clock - e.enq
+	if lat > m.stats.MaxCommitLatency {
+		m.stats.MaxCommitLatency = lat
+	}
+	if m.cfg.Delta > 0 && lat > m.cfg.Delta {
+		m.fail(ErrDeltaViolated)
+	}
+	if mon := m.cfg.Monitor; mon != nil {
+		mon.StoreCommitted(i, e.addr, e.val, e.enq, m.clock)
+	}
+	m.record(Event{Tick: m.clock, Thread: i, Kind: EvCommit, Addr: e.addr, Val: e.val})
+}
+
+// exec attempts thread i's pending instruction; it returns true when
+// the instruction completed (and was replied to).
+func (m *Machine) exec(i int, r *request) bool {
+	switch r.kind {
+	case opStore:
+		// Action #6: allowed at any time — except that under TSO[S] a
+		// full buffer must first dequeue its oldest entry (that dequeue
+		// is this tick's action for the thread).
+		if cap := m.cfg.BufferCap; cap > 0 && len(m.sb[i]) >= cap {
+			if m.lockFreeFor(i) {
+				m.commitOldest(i)
+				m.drained[i] = true
+			}
+			return false
+		}
+		m.sb[i] = append(m.sb[i], sbEntry{addr: r.addr, val: r.val, enq: m.clock})
+		if n := len(m.sb[i]); n > m.stats.MaxBufOccupancy {
+			m.stats.MaxBufOccupancy = n
+		}
+		m.stats.Stores++
+		if mon := m.cfg.Monitor; mon != nil {
+			mon.StoreEnqueued(i, r.addr, r.val, m.clock)
+		}
+		m.record(Event{Tick: m.clock, Thread: i, Kind: EvStore, Addr: r.addr, Val: r.val})
+		r.reply <- response{}
+		return true
+
+	case opClock:
+		// Action #7: allowed at any time.
+		m.stats.ClockReads++
+		r.reply <- response{val: Word(m.clock)}
+		return true
+
+	case opLoad:
+		// Action #2: requires the memory lock free or held by i.
+		if !m.lockFreeFor(i) {
+			return false
+		}
+		v, fromBuf := m.loadFor(i, r.addr)
+		m.stats.Loads++
+		if fromBuf {
+			m.stats.BufferHits++
+		}
+		if mon := m.cfg.Monitor; mon != nil {
+			mon.LoadSatisfied(i, r.addr, v, fromBuf, m.clock)
+		}
+		m.record(Event{Tick: m.clock, Thread: i, Kind: EvLoad, Addr: r.addr, Val: v})
+		r.reply <- response{val: v}
+		return true
+
+	case opFence:
+		// Action #5: requires an empty buffer; the memory subsystem
+		// dequeues one entry per tick on the thread's behalf first.
+		if len(m.sb[i]) > 0 {
+			if m.lockFreeFor(i) {
+				m.commitOldest(i)
+				m.drained[i] = true
+			}
+			return false
+		}
+		m.stats.Fences++
+		m.record(Event{Tick: m.clock, Thread: i, Kind: EvFence})
+		r.reply <- response{}
+		return true
+
+	case opCAS, opFetchAdd, opSwap:
+		return m.execRMW(i, r)
+
+	default:
+		m.fail(fmt.Errorf("tso: unknown op kind %d", r.kind))
+		return true
+	}
+}
+
+// execRMW advances an atomic read-modify-write. Tick 1 acquires the
+// memory subsystem lock (action #3); while the thread's buffer is
+// nonempty the memory subsystem dequeues one entry per tick (action #1,
+// permitted because the thread holds the lock); the final tick performs
+// the read and write against memory and releases the lock.
+func (m *Machine) execRMW(i int, r *request) bool {
+	if !r.locked {
+		if m.holder != -1 {
+			return false // lock busy; retry next tick
+		}
+		m.holder = i
+		r.locked = true
+		return false // acquiring the lock was this tick's action
+	}
+	if len(m.sb[i]) > 0 {
+		m.commitOldest(i)
+		m.drained[i] = true
+		return false
+	}
+	old := m.mem[r.addr]
+	var (
+		newVal Word
+		wrote  bool
+		ok     bool
+		retV   Word
+	)
+	switch r.kind {
+	case opCAS:
+		if old == r.old {
+			newVal, wrote, ok = r.val, true, true
+		}
+		retV = old
+	case opFetchAdd:
+		newVal, wrote, retV = old+r.val, true, old
+	case opSwap:
+		newVal, wrote, retV = r.val, true, old
+	}
+	if wrote {
+		m.mem[r.addr] = newVal
+	} else {
+		newVal = old
+	}
+	m.holder = -1
+	m.stats.RMWs++
+	if mon := m.cfg.Monitor; mon != nil {
+		mon.RMWExecuted(i, r.addr, old, newVal, m.clock)
+	}
+	m.record(Event{Tick: m.clock, Thread: i, Kind: EvRMW, Addr: r.addr, Val: newVal})
+	r.reply <- response{val: retV, ok: ok}
+	return true
+}
+
+// loadFor implements the TSO read rule: newest matching store-buffer
+// entry wins, otherwise memory.
+func (m *Machine) loadFor(i int, a Addr) (Word, bool) {
+	buf := m.sb[i]
+	for j := len(buf) - 1; j >= 0; j-- {
+		if buf[j].addr == a {
+			return buf[j].val, true
+		}
+	}
+	return m.mem[a], false
+}

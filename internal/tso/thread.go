@@ -1,0 +1,91 @@
+package tso
+
+// Thread is a handle through which a thread program issues actions to
+// the machine. Each action blocks the calling goroutine until the
+// scheduler grants it; the gap between two actions counts as local
+// computation and is free in machine time.
+type Thread struct {
+	m  *Machine
+	id int
+	ts *threadState
+}
+
+// ID returns the thread's index (spawn order, starting at 0).
+func (t *Thread) ID() int { return t.id }
+
+// Name returns the name given at Spawn.
+func (t *Thread) Name() string { return t.ts.name }
+
+// Machine returns the machine this thread runs on.
+func (t *Thread) Machine() *Machine { return t.m }
+
+func (t *Thread) do(r *request) response {
+	r.reply = make(chan response, 1)
+	select {
+	case t.ts.req <- r:
+	case <-t.m.halted:
+		panic(errHalted)
+	}
+	select {
+	case resp := <-r.reply:
+		return resp
+	case <-t.m.halted:
+		panic(errHalted)
+	}
+}
+
+// Store buffers a write of v to address a (model action #6). The write
+// becomes globally visible when the memory subsystem dequeues it —
+// within Δ ticks on a TBTSO[Δ] machine.
+func (t *Thread) Store(a Addr, v Word) {
+	t.do(&request{kind: opStore, addr: a, val: v})
+}
+
+// Load reads address a (model action #2): the newest matching entry in
+// the thread's own store buffer if one exists, otherwise memory.
+func (t *Thread) Load(a Addr) Word {
+	return t.do(&request{kind: opLoad, addr: a}).val
+}
+
+// CAS atomically compares memory at a with old and, if equal, writes
+// new. It reports whether the swap happened. Like all atomic
+// read-modify-writes it acquires the memory subsystem lock and drains
+// the thread's store buffer, so it doubles as a fence.
+func (t *Thread) CAS(a Addr, old, new Word) bool {
+	return t.do(&request{kind: opCAS, addr: a, old: old, val: new}).ok
+}
+
+// FetchAdd atomically adds delta to memory at a and returns the
+// previous value.
+func (t *Thread) FetchAdd(a Addr, delta Word) Word {
+	return t.do(&request{kind: opFetchAdd, addr: a, val: delta}).val
+}
+
+// Swap atomically exchanges memory at a with v and returns the previous
+// value.
+func (t *Thread) Swap(a Addr, v Word) Word {
+	return t.do(&request{kind: opSwap, addr: a, val: v}).val
+}
+
+// Fence completes only after the thread's store buffer is empty (model
+// action #5); the memory subsystem dequeues one entry per tick on the
+// thread's behalf, so a fence costs one tick per buffered store.
+func (t *Thread) Fence() {
+	t.do(&request{kind: opFence})
+}
+
+// Clock reads the global clock (model action #7). The paper assumes an
+// invariant timestamp counter readable by every thread.
+func (t *Thread) Clock() uint64 {
+	return uint64(t.do(&request{kind: opClock}).val)
+}
+
+// Yield consumes one scheduling slot without touching memory. It is a
+// convenience for wait loops; it is implemented as a clock read.
+func (t *Thread) Yield() { t.Clock() }
+
+// WaitUntil spins reading the clock until it passes deadline.
+func (t *Thread) WaitUntil(deadline uint64) {
+	for t.Clock() < deadline {
+	}
+}

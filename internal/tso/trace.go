@@ -1,0 +1,64 @@
+package tso
+
+import "fmt"
+
+// EventKind classifies trace events.
+type EventKind int
+
+const (
+	// EvStore records a store enqueued to a store buffer.
+	EvStore EventKind = iota
+	// EvCommit records a buffered store reaching memory.
+	EvCommit
+	// EvLoad records a completed load.
+	EvLoad
+	// EvRMW records a completed atomic read-modify-write.
+	EvRMW
+	// EvFence records a completed fence.
+	EvFence
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvStore:
+		return "store"
+	case EvCommit:
+		return "commit"
+	case EvLoad:
+		return "load"
+	case EvRMW:
+		return "rmw"
+	case EvFence:
+		return "fence"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one entry of an execution trace.
+type Event struct {
+	Tick   uint64
+	Thread int
+	Kind   EventKind
+	Addr   Addr
+	Val    Word
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case EvFence:
+		return fmt.Sprintf("t=%d T%d %s", e.Tick, e.Thread, e.Kind)
+	default:
+		return fmt.Sprintf("t=%d T%d %s [%d]=%d", e.Tick, e.Thread, e.Kind, e.Addr, e.Val)
+	}
+}
+
+func (m *Machine) record(e Event) {
+	if m.cfg.Trace {
+		m.trace = append(m.trace, e)
+	}
+}
+
+// Trace returns the recorded execution trace (empty unless Config.Trace
+// was set). It is only meaningful after Run returns.
+func (m *Machine) Trace() []Event { return m.trace }

@@ -1,0 +1,350 @@
+// Package tso implements the TBTSO[Δ] abstract machine of Morrison and
+// Afek, "Temporally Bounding TSO for Fence-Free Asymmetric
+// Synchronization" (ASPLOS 2015), §2.
+//
+// The machine extends Sewell et al.'s x86-TSO abstract machine with a
+// global clock and a bound Δ on the number of ticks a store may remain
+// buffered in a thread's FIFO store buffer before the memory subsystem
+// writes it to memory. Setting Δ = 0 disables the bound and yields plain
+// (unbounded) TSO, which is the model under which fence-free algorithms
+// are unsound; that mode exists so tests can demonstrate the unsoundness.
+//
+// Threads are ordinary Go functions that receive a *Thread handle and
+// issue memory actions through it (Load, Store, CAS, FetchAdd, Swap,
+// Fence, Clock). The machine runs threads in deterministic lockstep
+// rounds driven by a seeded scheduler: each round the clock advances by
+// one tick and, per the model, at most one action is executed for each
+// thread — either an instruction the thread issued or a store-buffer
+// dequeue performed on its behalf by the memory subsystem.
+//
+// Atomic read-modify-write operations are modeled with the global memory
+// subsystem lock: the thread acquires the lock, the memory subsystem
+// drains the thread's store buffer one entry per tick, and then the
+// read-modify-write executes against memory and releases the lock. While
+// the lock is held, other threads' reads and dequeues are blocked, which
+// models the serialization cost of atomic operations. The final
+// read+write+unlock is collapsed into a single tick; this is harmless
+// because no other thread can observe memory while the lock is held.
+package tso
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Addr is a word address in machine memory.
+type Addr uint64
+
+// Word is the unit of storage; all machine memory operations act on
+// whole words.
+type Word uint64
+
+// DrainPolicy selects how eagerly the memory subsystem voluntarily
+// dequeues buffered stores (beyond the dequeues forced by the Δ bound,
+// fences and atomic operations).
+type DrainPolicy int
+
+const (
+	// DrainRandom dequeues each thread's oldest buffered store with
+	// probability 1/2 per tick. This is the default; it explores a broad
+	// range of admissible TSO behaviours.
+	DrainRandom DrainPolicy = iota
+	// DrainEager dequeues whenever a buffer is nonempty. Store/load
+	// reordering windows are minimal, approximating a write-through
+	// machine.
+	DrainEager
+	// DrainAdversarial never dequeues voluntarily: stores stay buffered
+	// until the Δ bound forces them out or a fence/atomic drains them.
+	// Under Δ = 0 (plain TSO) this policy exhibits unbounded buffering,
+	// the behaviour that makes fence-free synchronization unsound.
+	DrainAdversarial
+)
+
+func (p DrainPolicy) String() string {
+	switch p {
+	case DrainRandom:
+		return "random"
+	case DrainEager:
+		return "eager"
+	case DrainAdversarial:
+		return "adversarial"
+	default:
+		return fmt.Sprintf("DrainPolicy(%d)", int(p))
+	}
+}
+
+// Config parameterizes a Machine.
+type Config struct {
+	// Delta is the TBTSO bound in ticks: a store enqueued at tick t0 is
+	// guaranteed to be in memory by tick t0+Delta. Zero means unbounded
+	// (plain TSO).
+	Delta uint64
+	// BufferCap, if nonzero, bounds each store buffer to S entries —
+	// the TSO[S] model of Morrison and Afek's earlier work [29], which
+	// §8 contrasts with TBTSO: a store must drain before an S+1'th
+	// store can enqueue, but a store can still stay buffered for an
+	// unbounded TIME if the thread issues no further stores. Combine
+	// with Delta=0 and the adversarial policy to reproduce exactly the
+	// behaviour that makes TSO[S] unsuitable for nonblocking fence-free
+	// algorithms.
+	BufferCap int
+	// TickPeriod, if nonzero, models the §6.2 OS support: every
+	// TickPeriod ticks each thread receives a "timer interrupt" — a
+	// user/kernel transition that drains its entire store buffer (x86
+	// semantics, Intel SDM §11.10). Interrupts are phase-staggered
+	// across threads as real per-core timers are.
+	TickPeriod uint64
+	// TickBoard, if nonzero (with TickPeriod set), is the base address
+	// of the §6.2 time array A: when thread i's timer interrupt fires,
+	// the OS writes the current clock directly to TickBoard+i. Adapted
+	// algorithms read A to establish store visibility. Allocate the
+	// array with AllocWords(#threads) before Run.
+	TickBoard Addr
+	// Policy selects the voluntary drain behaviour.
+	Policy DrainPolicy
+	// Seed drives the deterministic scheduler.
+	Seed int64
+	// MaxTicks aborts the run if the clock passes it. Zero selects a
+	// large default (DefaultMaxTicks).
+	MaxTicks uint64
+	// StallProb is the per-thread per-tick probability that the
+	// scheduler refuses to grant the thread's pending instruction,
+	// modeling asynchronous delays (e.g. the thread being scheduled
+	// out). Drains forced by Δ still happen. Zero disables stalls.
+	StallProb float64
+	// DrainMargin is how many ticks before the Δ deadline the machine
+	// begins forcing a dequeue, so that short memory-lock hold times
+	// cannot push a commit past the deadline. Zero selects
+	// DefaultDrainMargin. Ignored when Delta is zero.
+	DrainMargin uint64
+	// ParallelDrains, if true, lets voluntary and forced dequeues
+	// proceed WITHOUT consuming the thread's one action for the tick.
+	// The paper's abstract machine charges the dequeue as the thread's
+	// action (a modeling simplification); real store buffers drain in
+	// parallel with execution, so cost-model experiments
+	// (machalg.LookupCost) set this to keep buffered stores from being
+	// artificially as expensive as fenced ones. Semantically it only
+	// ADDS admissible interleavings of the same actions.
+	ParallelDrains bool
+	// Monitor, if non-nil, observes memory traffic (used for
+	// use-after-free detection by higher layers).
+	Monitor Monitor
+	// Trace, if true, records an execution trace retrievable via
+	// Machine.Trace.
+	Trace bool
+}
+
+// DefaultMaxTicks is used when Config.MaxTicks is zero.
+const DefaultMaxTicks = 2_000_000
+
+// DefaultDrainMargin is used when Config.DrainMargin is zero.
+const DefaultDrainMargin = 16
+
+// Monitor observes the memory traffic of a running machine. All methods
+// are invoked from the machine's scheduling goroutine, never
+// concurrently.
+type Monitor interface {
+	// StoreEnqueued is called when a thread buffers a store.
+	StoreEnqueued(thread int, a Addr, v Word, tick uint64)
+	// StoreCommitted is called when a buffered store reaches memory.
+	StoreCommitted(thread int, a Addr, v Word, enqueued, tick uint64)
+	// LoadSatisfied is called when a load completes. fromBuffer reports
+	// whether the value was forwarded from the thread's own store
+	// buffer.
+	LoadSatisfied(thread int, a Addr, v Word, fromBuffer bool, tick uint64)
+	// RMWExecuted is called when an atomic read-modify-write completes
+	// against memory.
+	RMWExecuted(thread int, a Addr, old, new Word, tick uint64)
+}
+
+// Stats aggregates counters for a completed run.
+type Stats struct {
+	Loads            uint64 // loads satisfied
+	BufferHits       uint64 // loads forwarded from the store buffer
+	Stores           uint64 // stores enqueued
+	Commits          uint64 // stores written to memory
+	RMWs             uint64 // atomic read-modify-writes executed
+	Fences           uint64 // fences completed
+	ClockReads       uint64 // global clock reads
+	ForcedDrains     uint64 // dequeues forced by the Δ bound
+	MaxBufOccupancy  int    // maximum store-buffer length observed
+	MaxCommitLatency uint64 // maximum ticks any store stayed buffered
+}
+
+// Result describes a completed run.
+type Result struct {
+	Ticks uint64
+	Stats Stats
+	Err   error
+}
+
+// Machine errors.
+var (
+	// ErrMaxTicks reports that the run was aborted at Config.MaxTicks.
+	ErrMaxTicks = errors.New("tso: clock passed MaxTicks before all threads finished")
+	// ErrDeltaViolated reports that a store stayed buffered for more
+	// than Δ ticks, which means DrainMargin was too small for the
+	// program's memory-lock hold times.
+	ErrDeltaViolated = errors.New("tso: store commit exceeded the Δ bound (increase DrainMargin)")
+)
+
+// errHalted is the sentinel panic value used to unwind thread goroutines
+// when the machine halts early.
+var errHalted = errors.New("tso: machine halted")
+
+type sbEntry struct {
+	addr Addr
+	val  Word
+	enq  uint64 // tick at which the store was enqueued
+}
+
+type opKind int
+
+const (
+	opStore opKind = iota
+	opLoad
+	opCAS
+	opFetchAdd
+	opSwap
+	opFence
+	opClock
+)
+
+type request struct {
+	kind  opKind
+	addr  Addr
+	val   Word // store value / CAS new / add delta / swap value
+	old   Word // CAS expected
+	reply chan response
+	// locked marks an RMW that has already acquired the memory
+	// subsystem lock and is waiting for its buffer to drain.
+	locked bool
+}
+
+type response struct {
+	val Word
+	ok  bool
+}
+
+type threadState struct {
+	name string
+	fn   func(*Thread)
+	req  chan *request
+	done bool
+}
+
+// Machine is a TBTSO[Δ] abstract machine. Configure it, Spawn threads,
+// then Run. A Machine is single-use: after Run returns it only supports
+// inspection (PeekWord, Trace, Result).
+type Machine struct {
+	cfg     Config
+	mem     map[Addr]Word
+	sb      [][]sbEntry
+	holder  int // memory subsystem lock holder; -1 if free
+	clock   uint64
+	rng     *rand.Rand
+	threads []*threadState
+	pending []*request
+	drained []bool // whether thread's action this tick was a dequeue
+	next    Addr   // bump allocator for AllocWords
+	stats   Stats
+	trace   []Event
+	halted  chan struct{}
+	haltErr error
+	haltMu  sync.Mutex
+	started bool
+}
+
+// New returns a machine with the given configuration.
+func New(cfg Config) *Machine {
+	if cfg.MaxTicks == 0 {
+		cfg.MaxTicks = DefaultMaxTicks
+	}
+	if cfg.DrainMargin == 0 {
+		cfg.DrainMargin = DefaultDrainMargin
+	}
+	if cfg.Delta > 0 && cfg.DrainMargin >= cfg.Delta {
+		cfg.DrainMargin = cfg.Delta / 2
+	}
+	return &Machine{
+		cfg:    cfg,
+		mem:    make(map[Addr]Word),
+		holder: -1,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		next:   1, // address 0 reserved as an obvious "null"
+		halted: make(chan struct{}),
+	}
+}
+
+// Delta reports the configured bound in ticks (0 = unbounded TSO).
+func (m *Machine) Delta() uint64 { return m.cfg.Delta }
+
+// SetMonitor installs a memory-traffic monitor. It may only be called
+// before Run; it overrides Config.Monitor.
+func (m *Machine) SetMonitor(mon Monitor) {
+	if m.started {
+		panic("tso: SetMonitor after Run")
+	}
+	m.cfg.Monitor = mon
+}
+
+// SetTickBoard installs the §6.2 time array's base address (normally
+// obtained from AllocWords after New, which is why this is a setter
+// rather than only a Config field). It may only be called before Run.
+func (m *Machine) SetTickBoard(board Addr) {
+	if m.started {
+		panic("tso: SetTickBoard after Run")
+	}
+	m.cfg.TickBoard = board
+}
+
+// AllocWords reserves n consecutive words of machine memory and returns
+// the address of the first. It may only be called before Run.
+func (m *Machine) AllocWords(n int) Addr {
+	if m.started {
+		panic("tso: AllocWords after Run")
+	}
+	a := m.next
+	m.next += Addr(n)
+	return a
+}
+
+// SetWord initializes machine memory before the run starts.
+func (m *Machine) SetWord(a Addr, v Word) {
+	if m.started {
+		panic("tso: SetWord after Run")
+	}
+	m.mem[a] = v
+}
+
+// PeekWord reads machine memory. It is intended for setup and
+// post-run inspection; calling it during Run races with the scheduler.
+func (m *Machine) PeekWord(a Addr) Word { return m.mem[a] }
+
+// Spawn registers a thread program. Threads are numbered in spawn order
+// starting at 0. It may only be called before Run.
+func (m *Machine) Spawn(name string, fn func(*Thread)) int {
+	if m.started {
+		panic("tso: Spawn after Run")
+	}
+	id := len(m.threads)
+	m.threads = append(m.threads, &threadState{name: name, fn: fn, req: make(chan *request)})
+	return id
+}
+
+func (m *Machine) fail(err error) {
+	m.haltMu.Lock()
+	defer m.haltMu.Unlock()
+	if m.haltErr == nil {
+		m.haltErr = err
+		close(m.halted)
+	}
+}
+
+func (m *Machine) failure() error {
+	m.haltMu.Lock()
+	defer m.haltMu.Unlock()
+	return m.haltErr
+}

@@ -1,0 +1,115 @@
+package tso
+
+import "testing"
+
+// TSO[S] tests: the spatial bound of [29], which §8 contrasts with
+// TBTSO's temporal bound.
+
+func TestTSOSBufferCapEnforced(t *testing.T) {
+	m := New(Config{Policy: DrainAdversarial, BufferCap: 4, Seed: 1})
+	a := m.AllocWords(16)
+	m.Spawn("w", func(th *Thread) {
+		for i := 0; i < 12; i++ {
+			th.Store(a+Addr(i), 1)
+		}
+	})
+	res := m.Run()
+	if res.Err != nil {
+		t.Fatalf("run: %v", res.Err)
+	}
+	if res.Stats.MaxBufOccupancy > 4 {
+		t.Fatalf("occupancy %d exceeds S=4", res.Stats.MaxBufOccupancy)
+	}
+	if res.Stats.Stores != 12 || res.Stats.Commits != 12 {
+		t.Fatalf("stores=%d commits=%d", res.Stats.Stores, res.Stats.Commits)
+	}
+}
+
+func TestTSOSStoreVisibleAfterSMoreStores(t *testing.T) {
+	// Under TSO[S], issuing S further stores forces the first one out.
+	const s = 3
+	m := New(Config{Policy: DrainAdversarial, BufferCap: s, Seed: 2})
+	flag := m.AllocWords(1)
+	scratch := m.AllocWords(8)
+	sawFlag := false
+	m.Spawn("writer", func(th *Thread) {
+		th.Store(flag, 1)
+		for i := 0; i < s; i++ { // push the flag out spatially
+			th.Store(scratch+Addr(i), 1)
+		}
+		for i := 0; i < 200; i++ {
+			th.Yield()
+		}
+	})
+	m.Spawn("reader", func(th *Thread) {
+		for i := 0; i < 150; i++ {
+			if th.Load(flag) != 0 {
+				sawFlag = true
+				return
+			}
+		}
+	})
+	if res := m.Run(); res.Err != nil {
+		t.Fatalf("run: %v", res.Err)
+	}
+	if !sawFlag {
+		t.Fatal("S subsequent stores did not force the flag out of the buffer")
+	}
+}
+
+func TestTSOSDoesNotBoundTime(t *testing.T) {
+	// The §8 contrast: under TSO[S] a store from a thread that issues
+	// no further stores stays invisible for an unbounded time — exactly
+	// why TSO[S] cannot support nonblocking fence-free synchronization
+	// and TBTSO can.
+	m := New(Config{Policy: DrainAdversarial, BufferCap: 1, Seed: 3})
+	flag := m.AllocWords(1)
+	saw := false
+	m.Spawn("writer", func(th *Thread) {
+		th.Store(flag, 1)
+		for i := 0; i < 500; i++ {
+			th.Yield() // no further stores: nothing pushes the flag out
+		}
+	})
+	m.Spawn("reader", func(th *Thread) {
+		for i := 0; i < 400; i++ {
+			if th.Load(flag) != 0 {
+				saw = true
+				return
+			}
+		}
+	})
+	if res := m.Run(); res.Err != nil {
+		t.Fatalf("run: %v", res.Err)
+	}
+	if saw {
+		t.Fatal("TSO[1] made an idle thread's store visible — spatial bound should not imply temporal bound")
+	}
+}
+
+func TestTBTSOBeatsTSOSOnIdleThreads(t *testing.T) {
+	// Same program, TBTSO[Δ] machine: the flag must appear within Δ.
+	m := New(Config{Policy: DrainAdversarial, Delta: 100, Seed: 3})
+	flag := m.AllocWords(1)
+	saw := false
+	m.Spawn("writer", func(th *Thread) {
+		th.Store(flag, 1)
+		for i := 0; i < 500; i++ {
+			th.Yield()
+		}
+	})
+	m.Spawn("reader", func(th *Thread) {
+		for i := 0; i < 400; i++ {
+			if th.Load(flag) != 0 {
+				saw = true
+				return
+			}
+		}
+	})
+	if res := m.Run(); res.Err != nil {
+		t.Fatalf("run: %v", res.Err)
+	}
+	if !saw {
+		t.Fatal("TBTSO did not deliver the idle thread's store within Δ")
+	}
+}

@@ -1,0 +1,71 @@
+// Package vclock provides the global clocks TBTSO algorithms read.
+//
+// The paper's algorithms assume an invariant timestamp counter readable
+// cheaply by every thread (§6). Natively we use Go's monotonic clock;
+// on the abstract machine the global tick counter plays the same role.
+package vclock
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// base anchors the monotonic clock so Now() values are small and
+// strictly relative, like a TSC read.
+var base = time.Now()
+
+// Now returns monotonic nanoseconds since process start. It is the
+// native stand-in for the invariant TSC the paper relies on.
+func Now() int64 {
+	return int64(time.Since(base))
+}
+
+// Delta values used throughout the evaluation (§7): the estimated
+// hardware-TBTSO bound and the OS-adapted (timer interrupt) bound.
+const (
+	// HardwareDelta is the paper's extrapolated hardware bound (0.5 ms).
+	HardwareDelta = 500 * time.Microsecond
+	// AdaptedDelta is the paper's OS-timer-adapted bound (4 ms).
+	AdaptedDelta = 4 * time.Millisecond
+)
+
+// Coarse is a shared coarse clock updated by a background goroutine,
+// for callers that want loads cheaper than a time.Since call. Reads are
+// a single atomic load; resolution is the update period.
+type Coarse struct {
+	now    atomic.Int64
+	period time.Duration
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// NewCoarse starts a coarse clock with the given update period.
+func NewCoarse(period time.Duration) *Coarse {
+	c := &Coarse{period: period, stop: make(chan struct{}), done: make(chan struct{})}
+	c.now.Store(Now())
+	go c.run()
+	return c
+}
+
+func (c *Coarse) run() {
+	defer close(c.done)
+	t := time.NewTicker(c.period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.now.Store(Now())
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// Now returns the last published time.
+func (c *Coarse) Now() int64 { return c.now.Load() }
+
+// Stop shuts the updater down.
+func (c *Coarse) Stop() {
+	close(c.stop)
+	<-c.done
+}

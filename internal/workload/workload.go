@@ -1,0 +1,157 @@
+// Package workload generates the evaluation's workloads (§7): key
+// universes sized for target hash-chain lengths, the read-only and
+// 3:1 read/write operation mixes, busy-wait interarrival delays for
+// the lock benchmark, and the paper's four lock access patterns.
+package workload
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+
+	"tbtso/internal/vclock"
+)
+
+// UniverseForChain returns the key-universe size U that yields an
+// average chain length of L in a table with the given bucket count:
+// the benchmark keeps the table at U/2 resident keys (§7.1), so
+// U = 2·L·buckets.
+func UniverseForChain(chainLen, buckets int) uint64 {
+	return uint64(2 * chainLen * buckets)
+}
+
+// The chain lengths the evaluation tests (§7.1): short as in real hash
+// tables, two mediums, and long.
+var ChainLengths = []int{4, 20, 80, 256}
+
+// Mix selects the §7.1 operation mix.
+type Mix int
+
+// The mixes of Figure 6.
+const (
+	// ReadOnly: all threads perform random lookups.
+	ReadOnly Mix = iota
+	// ReadWrite: 3/4 of the threads are readers (lookups over the whole
+	// universe), 1/4 are updaters alternating insert/remove over an
+	// owned partition.
+	ReadWrite
+)
+
+func (m Mix) String() string {
+	if m == ReadOnly {
+		return "read-only"
+	}
+	return "read-write"
+}
+
+// Role is a worker's role under a Mix.
+type Role int
+
+// Worker roles.
+const (
+	Reader Role = iota
+	Updater
+)
+
+// RoleOf assigns roles for the ReadWrite mix: every 4th worker is an
+// updater (so updaters = ceil(n/4), readers = the rest), matching the
+// paper's ¾n readers / ¼n updaters split.
+func RoleOf(mix Mix, tid int) Role {
+	if mix == ReadWrite && tid%4 == 3 {
+		return Updater
+	}
+	return Reader
+}
+
+// KeyGen generates uniform random keys from a universe, deterministic
+// per seed. Not safe for concurrent use; give each worker its own.
+type KeyGen struct {
+	rng *rand.Rand
+	u   uint64
+}
+
+// NewKeyGen returns a generator over [0, universe).
+func NewKeyGen(universe uint64, seed int64) *KeyGen {
+	return &KeyGen{rng: rand.New(rand.NewSource(seed)), u: universe}
+}
+
+// Next returns the next key.
+func (g *KeyGen) Next() uint64 {
+	return uint64(g.rng.Int63n(int64(g.u)))
+}
+
+// Partition returns updater tid's owned key slice [lo, hi): updaters
+// insert()/remove() each item of an equally-sized owned subset (§7.1).
+func Partition(universe uint64, updaterIdx, updaters int) (lo, hi uint64) {
+	span := universe / uint64(updaters)
+	lo = span * uint64(updaterIdx)
+	hi = lo + span
+	if updaterIdx == updaters-1 {
+		hi = universe
+	}
+	return lo, hi
+}
+
+// SpinWait busy-waits for approximately d, simulating application work
+// between lock acquisitions. It yields periodically so the benchmark
+// also behaves on machines with fewer cores than workers (on the
+// paper's testbed every thread owns a hardware thread; under
+// GOMAXPROCS=1 an unyielding spin would quantize all progress to the
+// runtime's ~10 ms preemption tick).
+func SpinWait(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := vclock.Now() + int64(d)
+	for i := 0; vclock.Now() < deadline; i++ {
+		if i%32 == 31 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Interarrival draws exponential interarrival delays with the given
+// mean, the lock benchmark's "random interarrival delay (simulating
+// application work)" (§7.2). A zero mean always returns 0.
+type Interarrival struct {
+	rng  *rand.Rand
+	mean float64
+}
+
+// NewInterarrival returns a generator.
+func NewInterarrival(mean time.Duration, seed int64) *Interarrival {
+	return &Interarrival{rng: rand.New(rand.NewSource(seed)), mean: float64(mean)}
+}
+
+// Next draws the next delay.
+func (ia *Interarrival) Next() time.Duration {
+	if ia.mean == 0 {
+		return 0
+	}
+	return time.Duration(ia.rng.ExpFloat64() * ia.mean)
+}
+
+// LockPattern is one of Figure 8's four access patterns.
+type LockPattern struct {
+	Name string
+	// Mean interarrival delays; 0 = arrive immediately.
+	OwnerMean time.Duration
+	OtherMean time.Duration
+	// OwnerStall, if nonzero, makes the owner stall this long between
+	// acquisitions (the last pattern: context switch / long
+	// computation).
+	OwnerStall time.Duration
+}
+
+// Patterns returns the four access patterns of Figure 8, scaled so the
+// whole sweep stays tractable: owner-frequent/non-owner-rare, two
+// patterns of increasing non-owner frequency, and the owner-stall
+// pattern.
+func Patterns() []LockPattern {
+	return []LockPattern{
+		{Name: "owner-freq/other-rare", OwnerMean: 200 * time.Nanosecond, OtherMean: time.Millisecond},
+		{Name: "other-moderate", OwnerMean: 200 * time.Nanosecond, OtherMean: 20 * time.Microsecond},
+		{Name: "other-equal", OwnerMean: 200 * time.Nanosecond, OtherMean: 200 * time.Nanosecond},
+		{Name: "owner-stalls", OwnerMean: 200 * time.Nanosecond, OtherMean: 20 * time.Microsecond, OwnerStall: 25 * time.Millisecond},
+	}
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestUniverseForChain(t *testing.T) {
+	// U/2 resident keys across B buckets must give chains of length L.
+	for _, L := range ChainLengths {
+		u := UniverseForChain(L, 1024)
+		if got := u / 2 / 1024; got != uint64(L) {
+			t.Fatalf("L=%d: universe %d gives chains of %d", L, u, got)
+		}
+	}
+}
+
+func TestRoleSplit(t *testing.T) {
+	// ReadWrite: ¼ updaters.
+	updaters := 0
+	const n = 16
+	for tid := 0; tid < n; tid++ {
+		if RoleOf(ReadWrite, tid) == Updater {
+			updaters++
+		}
+		if RoleOf(ReadOnly, tid) != Reader {
+			t.Fatal("read-only mix produced an updater")
+		}
+	}
+	if updaters != n/4 {
+		t.Fatalf("updaters = %d, want %d", updaters, n/4)
+	}
+}
+
+func TestPartitionCoversUniverse(t *testing.T) {
+	const universe = 103 // deliberately not divisible
+	const updaters = 4
+	covered := map[uint64]bool{}
+	for i := 0; i < updaters; i++ {
+		lo, hi := Partition(universe, i, updaters)
+		if lo >= hi {
+			t.Fatalf("empty partition %d: [%d,%d)", i, lo, hi)
+		}
+		for k := lo; k < hi; k++ {
+			if covered[k] {
+				t.Fatalf("key %d covered twice", k)
+			}
+			covered[k] = true
+		}
+	}
+	if len(covered) != universe {
+		t.Fatalf("covered %d keys, want %d", len(covered), universe)
+	}
+}
+
+func TestKeyGenInRangeAndDeterministic(t *testing.T) {
+	a := NewKeyGen(100, 7)
+	b := NewKeyGen(100, 7)
+	for i := 0; i < 1000; i++ {
+		ka, kb := a.Next(), b.Next()
+		if ka != kb {
+			t.Fatal("same seed, different streams")
+		}
+		if ka >= 100 {
+			t.Fatalf("key %d out of range", ka)
+		}
+	}
+}
+
+func TestInterarrival(t *testing.T) {
+	zero := NewInterarrival(0, 1)
+	if zero.Next() != 0 {
+		t.Fatal("zero mean must give zero delays")
+	}
+	ia := NewInterarrival(time.Millisecond, 1)
+	var sum time.Duration
+	const n = 10000
+	for i := 0; i < n; i++ {
+		sum += ia.Next()
+	}
+	mean := sum / n
+	if mean < 800*time.Microsecond || mean > 1200*time.Microsecond {
+		t.Fatalf("empirical mean %v, want ≈1ms", mean)
+	}
+}
+
+func TestSpinWaitApproximates(t *testing.T) {
+	start := time.Now()
+	SpinWait(2 * time.Millisecond)
+	if e := time.Since(start); e < 2*time.Millisecond {
+		t.Fatalf("SpinWait returned after %v", e)
+	}
+	SpinWait(0) // must not hang
+	SpinWait(-time.Second)
+}
+
+func TestPatterns(t *testing.T) {
+	ps := Patterns()
+	if len(ps) != 4 {
+		t.Fatalf("got %d patterns, want 4", len(ps))
+	}
+	if ps[3].OwnerStall == 0 {
+		t.Fatal("last pattern must stall the owner")
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if p.Name == "" || seen[p.Name] {
+			t.Fatalf("bad pattern name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
