@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figures figures-quick demos clean
+.PHONY: all build vet lint test race check bench figures figures-quick demos clean
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,19 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Static checks: go vet plus the repository's own fence-discipline and
+# shared-memory-escape analyzer (see docs/ANALYSIS.md).
+lint: vet
+	$(GO) run ./cmd/tbtso-lint ./...
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race ./internal/...
+
+# The full gate: everything CI runs.
+check: build lint test race
 
 # testing.B versions of every figure + micro/ablation benches.
 bench:

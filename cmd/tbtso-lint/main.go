@@ -1,0 +1,56 @@
+// Command tbtso-lint statically checks the repository's fence
+// discipline and modeled-memory discipline (see docs/ANALYSIS.md).
+//
+// Usage:
+//
+//	tbtso-lint [-check fencefree,requires-fence,escape,mixed] [patterns...]
+//
+// Patterns default to ./... (every package in the module). The exit
+// status is 1 when any diagnostic is reported, 2 on usage or load
+// errors, so the tool slots into Makefiles next to go vet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tbtso/internal/analysis"
+)
+
+func main() {
+	checkFlag := flag.String("check", "", "comma-separated checks to run (default: all of fencefree, requires-fence, escape, mixed)")
+	dirFlag := flag.String("C", ".", "directory inside the module to analyze from")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tbtso-lint [-check list] [-C dir] [package patterns]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	checks, err := analysis.ParseCheckList(*checkFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tbtso-lint:", err)
+		os.Exit(2)
+	}
+
+	loader, err := analysis.NewLoader(*dirFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tbtso-lint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tbtso-lint:", err)
+		os.Exit(2)
+	}
+
+	a := analysis.Analyzer{Packages: pkgs, Checks: checks}
+	diags := a.Run()
+	for _, d := range diags {
+		fmt.Printf("%s\n", d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "tbtso-lint: %d problem(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

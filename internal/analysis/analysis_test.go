@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden packages under testdata/src each exercise one check, one
+// positive (violations present) and one negative (clean) per check,
+// plus annot_bad for the annotation grammar itself. Expectations are
+// written in the sources as want comments:
+//
+//	// want <check> "substring"
+//	// want+1 <check> "substring"      (diagnostic expected one line below)
+//	// want-1 <check> "substring"      (one line above)
+//
+// Several <check> "substring" pairs may follow one want marker when a
+// single line produces several diagnostics. A diagnostic matches a want
+// iff file, line and check are equal and the message contains the
+// substring; the test demands a perfect bijection between the two sets.
+var goldenPackages = []string{
+	"fencefree_bad",
+	"fencefree_ok",
+	"reqfence_bad",
+	"reqfence_ok",
+	"escape_bad",
+	"escape_ok",
+	"mixed_bad",
+	"mixed_ok",
+	"annot_bad",
+}
+
+var (
+	wantRe = regexp.MustCompile(`//\s*want([+-]\d+)?\s+(.+)$`)
+	pairRe = regexp.MustCompile(`([a-z-]+)\s+"([^"]*)"`)
+)
+
+type want struct {
+	file    string // base name
+	line    int
+	check   string
+	substr  string
+	matched bool
+}
+
+// parseWants extracts want expectations from one loaded package.
+func parseWants(t *testing.T, p *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				line := pos.Line
+				if m[1] != "" {
+					off := 0
+					for _, r := range m[1][1:] {
+						off = off*10 + int(r-'0')
+					}
+					if m[1][0] == '-' {
+						off = -off
+					}
+					line += off
+				}
+				pairs := pairRe.FindAllStringSubmatch(m[2], -1)
+				if len(pairs) == 0 {
+					t.Errorf("%s: malformed want comment %q", pos, c.Text)
+					continue
+				}
+				for _, pr := range pairs {
+					wants = append(wants, &want{
+						file:   filepath.Base(pos.Filename),
+						line:   line,
+						check:  pr[1],
+						substr: pr[2],
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func TestGolden(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	for _, name := range goldenPackages {
+		t.Run(name, func(t *testing.T) {
+			pkgs, err := l.Load("internal/analysis/testdata/src/" + name)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if len(pkgs) != 1 {
+				t.Fatalf("loaded %d packages, want 1", len(pkgs))
+			}
+			p := pkgs[0]
+			wants := parseWants(t, p)
+			if strings.HasSuffix(name, "_bad") && len(wants) == 0 {
+				t.Fatalf("positive package %s declares no wants", name)
+			}
+			a := &Analyzer{Packages: pkgs}
+			diags := a.Run()
+			for _, d := range diags {
+				matched := false
+				for _, w := range wants {
+					if w.matched || w.file != filepath.Base(d.Pos.Filename) ||
+						w.line != d.Pos.Line || w.check != d.Check ||
+						!strings.Contains(d.Message, w.substr) {
+						continue
+					}
+					w.matched = true
+					matched = true
+					break
+				}
+				if !matched {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("missing diagnostic: %s:%d [%s] containing %q",
+						w.file, w.line, w.check, w.substr)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,26 @@
+package analysis
+
+import "testing"
+
+// TestRepoIsLintClean runs the full analyzer over the whole module —
+// the same run `make lint` performs — so a fence-discipline or
+// modeled-memory regression fails `go test ./...`, not just CI's lint
+// step. Suppressions must be justified //tbtso:ignore comments in the
+// source, never exclusions here.
+func TestRepoIsLintClean(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("loaded only %d packages; the module walk is broken", len(pkgs))
+	}
+	a := &Analyzer{Packages: pkgs}
+	for _, d := range a.Run() {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,28 @@
+// Package annot_bad misuses the annotation grammar itself; every
+// mistake must surface as an unsuppressible "annotation" diagnostic.
+package annot_bad
+
+var x int
+
+func f() {
+	// want+1 annotation "has no justification"
+	//tbtso:ignore escape
+	x = 1
+}
+
+func g() {
+	// want+1 annotation "needs a known check name"
+	//tbtso:ignore bogus because reasons
+	x = 2
+}
+
+//tbtso:frobnicate
+func h() { // want-1 annotation "unknown directive"
+	x = 3
+}
+
+//tbtso:fencefree
+//tbtso:requires-fence
+func clash() { // want annotation "annotated both" requires-fence "contains no fence call at all"
+	x = 4
+}

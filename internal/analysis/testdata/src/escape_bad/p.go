@@ -1,0 +1,43 @@
+// Package escape_bad commits every machine-escape the check catches:
+// writing and reading package-level state, writing a captured variable,
+// writing through a pointer parameter, and using sync/atomic — all from
+// inside machine code (functions taking a *tso.Thread).
+package escape_bad
+
+import (
+	"sync/atomic"
+
+	"tbtso/internal/tso"
+)
+
+var gcount uint64
+
+func writeGlobal(th *tso.Thread) {
+	gcount++ // want escape "writes package-level variable gcount"
+	th.Yield()
+}
+
+func readGlobal(th *tso.Thread) tso.Word {
+	th.Yield()
+	return tso.Word(gcount) // want escape "reads package-level variable gcount"
+}
+
+func captured(m *tso.Machine) {
+	sum := 0
+	m.Spawn("w", func(th *tso.Thread) {
+		sum++ // want escape "captured from an enclosing function"
+		th.Yield()
+	})
+	_ = sum
+}
+
+func derefParam(th *tso.Thread, out *int) {
+	th.Yield()
+	*out = 1 // want escape "reached through parameter out"
+}
+
+func atomicInMachine(th *tso.Thread) {
+	var n uint64
+	th.Yield()
+	atomic.AddUint64(&n, 1) // want escape "uses sync/atomic"
+}

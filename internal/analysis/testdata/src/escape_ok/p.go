@@ -1,0 +1,31 @@
+// Package escape_ok holds machine code the escape check must accept:
+// all shared-memory traffic through the *tso.Thread API, reads of
+// immutable configuration through parameters, pure locals, and one
+// deliberate Go-side counter behind a justified ignore.
+package escape_ok
+
+import "tbtso/internal/tso"
+
+type shared struct {
+	base tso.Addr
+}
+
+// bump reads configuration through its parameter (allowed) and touches
+// shared memory only through the Thread API.
+func bump(th *tso.Thread, s *shared) {
+	v := th.Load(s.base)
+	scratch := v + 1
+	th.Store(s.base, scratch)
+}
+
+var traces int
+
+// instrumented keeps a Go-side counter next to machine code; the
+// justified ignore is the sanctioned escape hatch and must suppress the
+// diagnostic for the whole function.
+//
+//tbtso:ignore escape traces is host-side instrumentation read only after the run ends
+func instrumented(th *tso.Thread) {
+	traces++
+	th.Yield()
+}

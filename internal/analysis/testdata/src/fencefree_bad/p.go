@@ -1,0 +1,45 @@
+// Package fencefree_bad violates //tbtso:fencefree in the three ways
+// the check can catch: a direct fence call, a transitive one through a
+// same-module helper, and a call into a //tbtso:requires-fence
+// contract.
+package fencefree_bad
+
+import "tbtso/internal/fence"
+
+type T struct {
+	f *fence.Line
+	x int
+}
+
+// bad calls the fence primitive directly.
+//
+//tbtso:fencefree
+func (t *T) bad() {
+	t.f.Full() // want fencefree "calls the fence primitive"
+}
+
+// badTransitive reaches the fence through a helper.
+//
+//tbtso:fencefree
+func (t *T) badTransitive() {
+	t.helper() // want fencefree "which calls the fence primitive"
+}
+
+func (t *T) helper() {
+	t.x++
+	t.f.Full()
+}
+
+// slow carries the opposite contract.
+//
+//tbtso:requires-fence
+func (t *T) slow() {
+	t.f.Full()
+}
+
+// badContract calls a function whose annotation promises a fence.
+//
+//tbtso:fencefree
+func (t *T) badContract() {
+	t.slow() // want fencefree "is annotated //tbtso:requires-fence"
+}

@@ -1,0 +1,45 @@
+// Package fencefree_ok holds fence-free functions the check must
+// accept: plain stores, calls into helpers that never fence, and a call
+// through a function value (statically unresolvable, skipped by
+// design).
+package fencefree_ok
+
+import "tbtso/internal/fence"
+
+type T struct {
+	f  *fence.Line
+	x  int
+	cb func()
+}
+
+// fast is the paper's fast-path shape: a plain store, nothing else.
+//
+//tbtso:fencefree
+func (t *T) fast() {
+	t.x = 1
+}
+
+// fastCalls may call helpers as long as no fence is reachable.
+//
+//tbtso:fencefree
+func (t *T) fastCalls() {
+	t.bump()
+}
+
+func (t *T) bump() {
+	t.x++
+}
+
+// fastIndirect calls through a function value; such calls are not
+// statically resolvable and the check documents that it skips them.
+//
+//tbtso:fencefree
+func (t *T) fastIndirect() {
+	t.cb()
+}
+
+// fenced uses the fence but carries no fencefree annotation, so the
+// check has nothing to say about it.
+func (t *T) fenced() {
+	t.f.Full()
+}

@@ -1,0 +1,30 @@
+// Package mixed_bad mixes sync/atomic and plain access to the same
+// field and the same package-level variable — the latent data race the
+// mixed check exists for.
+package mixed_bad
+
+import "sync/atomic"
+
+type counter struct {
+	n uint64
+}
+
+var c counter
+
+func bumpField() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func readFieldPlainly() uint64 {
+	return c.n // want mixed "field n is accessed atomically"
+}
+
+var hits uint64
+
+func bumpHits() {
+	atomic.AddUint64(&hits, 1)
+}
+
+func readHitsPlainly() uint64 {
+	return hits // want mixed "package-level variable hits is accessed atomically"
+}

@@ -1,0 +1,30 @@
+// Package mixed_ok accesses shared words consistently: either always
+// through sync/atomic package functions, or through atomic wrapper
+// types that make mixing impossible by construction.
+package mixed_ok
+
+import "sync/atomic"
+
+var n uint64
+
+func bump() {
+	atomic.AddUint64(&n, 1)
+}
+
+func read() uint64 {
+	return atomic.LoadUint64(&n)
+}
+
+type stats struct {
+	wrapped atomic.Uint64
+	local   uint64 // plainly accessed only, never atomic
+}
+
+func (s *stats) bump() {
+	s.wrapped.Add(1)
+	s.local++
+}
+
+func (s *stats) read() uint64 {
+	return s.wrapped.Load() + s.local
+}

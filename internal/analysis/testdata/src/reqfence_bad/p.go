@@ -1,0 +1,38 @@
+// Package reqfence_bad violates //tbtso:requires-fence both ways: a
+// body with no fence at all (the hard failure) and a body that fences
+// on only one branch (the per-block path failure).
+package reqfence_bad
+
+import "tbtso/internal/fence"
+
+type S struct {
+	f *fence.Lines
+	x int
+}
+
+// noFence promises a fence and never issues one.
+//
+//tbtso:requires-fence
+func (s *S) noFence() { // want requires-fence "contains no fence call at all"
+	s.x = 1
+}
+
+// oneBranch fences only when c holds, so the fall-through path breaks
+// the contract.
+//
+//tbtso:requires-fence
+func (s *S) oneBranch(c bool) { // want requires-fence "reaches the end without a fence"
+	if c {
+		s.f.Full(0)
+	}
+}
+
+// loopOnly fences inside a loop; loops may run zero times, so the
+// per-block approximation rejects it.
+//
+//tbtso:requires-fence
+func (s *S) loopOnly(n int) { // want requires-fence "reaches the end without a fence"
+	for i := 0; i < n; i++ {
+		s.f.Full(0)
+	}
+}

@@ -1,0 +1,50 @@
+// Package reqfence_ok holds requires-fence functions the check must
+// accept: a straight-line fence, a fence on both branches of an if, and
+// a call into another //tbtso:requires-fence contract.
+package reqfence_ok
+
+import "tbtso/internal/fence"
+
+type S struct {
+	f *fence.Lines
+	x int
+}
+
+// straight fences unconditionally.
+//
+//tbtso:requires-fence
+func (s *S) straight() {
+	s.x = 1
+	s.f.Full(0)
+}
+
+// bothBranches fences on every path through the if.
+//
+//tbtso:requires-fence
+func (s *S) bothBranches(c bool) {
+	if c {
+		s.f.Full(0)
+	} else {
+		s.f.Full(1)
+	}
+}
+
+// viaContract delegates to a function whose annotation guarantees the
+// fence, which the check accepts as a sure fence.
+//
+//tbtso:requires-fence
+func (s *S) viaContract() {
+	s.straight()
+}
+
+// viaHelper delegates to an unannotated helper whose body provably
+// fences on every path (computed transitively).
+//
+//tbtso:requires-fence
+func (s *S) viaHelper() {
+	s.helper()
+}
+
+func (s *S) helper() {
+	s.f.Full(0)
+}

@@ -31,12 +31,16 @@ func NewAsymmetricFlag(b Bound) *AsymmetricFlag {
 
 // FastRaise raises the fast side's flag. No fence is issued: on TBTSO
 // the store becomes visible within the bound.
+//
+//tbtso:fencefree
 func (f *AsymmetricFlag) FastRaise(v uint64) {
 	f.fast.Store(v)
 }
 
 // FastLook reads the slow side's flag. Per the principle this may be
 // done immediately after FastRaise with no fence in between.
+//
+//tbtso:fencefree
 func (f *AsymmetricFlag) FastLook() uint64 {
 	return f.slow.Load()
 }
@@ -48,6 +52,8 @@ func (f *AsymmetricFlag) FastLower() { f.fast.Store(0) }
 // visibility bound, and returns the fast side's flag. If the returned
 // value is zero, the fast side had not raised its flag before our raise
 // became visible — and therefore the fast side will observe ours.
+//
+//tbtso:requires-fence
 func (f *AsymmetricFlag) SlowRaiseAndLook(v uint64) uint64 {
 	f.slow.Store(v)
 	f.line.Full()

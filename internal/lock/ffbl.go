@@ -44,6 +44,8 @@ func (b *FFBL) Name() string { return b.name }
 // whole point of the algorithm — is the first two lines: raise flag0,
 // look at flag1, and enter. No fence separates them; on TBTSO the Δ
 // bound (embodied in the non-owner's wait) makes that safe.
+//
+//tbtso:fencefree
 func (b *FFBL) OwnerLock() {
 	b.flag0.v.Store(packFlag(0, 1))
 	// no fence
@@ -67,6 +69,8 @@ func (b *FFBL) OwnerLock() {
 }
 
 // OwnerUnlock implements BiasedLock (Figure 3g).
+//
+//tbtso:fencefree
 func (b *FFBL) OwnerUnlock() {
 	if _, f := unpackFlag(b.flag0.v.Load()); f == 1 {
 		b.flag0.v.Store(packFlag(0, 0))
@@ -77,6 +81,8 @@ func (b *FFBL) OwnerUnlock() {
 }
 
 // OtherLock implements BiasedLock (Figure 3h).
+//
+//tbtso:requires-fence
 func (b *FFBL) OtherLock() {
 	b.l.Lock()
 	v1, _ := unpackFlag(b.flag1.v.Load())
@@ -105,6 +111,8 @@ func (b *FFBL) OtherLock() {
 }
 
 // OtherUnlock implements BiasedLock (Figure 3h's unlock).
+//
+//tbtso:fencefree
 func (b *FFBL) OtherUnlock() {
 	v1, _ := unpackFlag(b.flag1.v.Load())
 	b.flag1.v.Store(packFlag(v1+1, 0))

@@ -112,6 +112,8 @@ func NewBaselineBiased() *BaselineBiased { return &BaselineBiased{} }
 func (b *BaselineBiased) Name() string { return "biased-fenced" }
 
 // OwnerLock implements BiasedLock (Figure 3b).
+//
+//tbtso:requires-fence
 func (b *BaselineBiased) OwnerLock() {
 	b.flag0.v.Store(1)
 	b.fen.Full()
@@ -131,6 +133,8 @@ func (b *BaselineBiased) OwnerUnlock() {
 }
 
 // OtherLock implements BiasedLock (Figure 3d).
+//
+//tbtso:requires-fence
 func (b *BaselineBiased) OtherLock() {
 	b.l.Lock()
 	b.flag1.v.Store(1)

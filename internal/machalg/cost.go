@@ -18,6 +18,11 @@ type CostResult struct {
 // list of `listLen` nodes under the given protection mode, and the
 // result reports average machine ticks per operation.
 //
+// The spawned reader records its result in the captured CostResult;
+// that is thread-private host-side output read only after Run returns.
+//
+//tbtso:ignore escape single measurement thread writes its captured result struct, read only after Machine.Run returns
+//
 // This is the cost comparison the native benchmarks cannot make
 // cleanly (Go's atomic store is itself serializing — caveat C2 in
 // EXPERIMENTS.md): on the abstract machine a hazard-pointer publication

@@ -20,6 +20,12 @@ type ReclaimRaceOutcome struct {
 // reclaimer unlinks, retires, and tries to reclaim it — on a machine
 // with the given Δ (0 = plain TSO) and hazard-pointer mode. It is the
 // demo twin of the machalg test suite's soundness matrix.
+//
+// The atomic.Bool handshakes (validated/released) deliberately live
+// OUTSIDE the machine model: they direct the interleaving and must not
+// themselves be subject to the store buffering they orchestrate.
+//
+//tbtso:ignore escape harness handshake flags and the captured outcome struct intentionally bypass the model to direct the schedule; they are not algorithm memory
 func ReclaimRaceDemo(delta uint64, mode HPMode) ReclaimRaceOutcome {
 	cfg := tso.Config{Delta: delta, Policy: tso.DrainAdversarial, Seed: 1, MaxTicks: 1_000_000}
 	m := tso.New(cfg)
@@ -125,7 +131,11 @@ func DequeDemo(delta uint64, bufferCap int, waitDelta bool, seeds int) DequeOutc
 	return out
 }
 
-// dequeRun is the shared harvest harness (also used by the tests).
+// dequeRun is the shared harvest harness (also used by the tests). The
+// done flag and the mutex-protected harvest map are host-side harness
+// state, deliberately outside the machine model.
+//
+//tbtso:ignore escape the done handshake and mutex-protected harvest map are harness bookkeeping, not algorithm memory; item flow itself goes through machine words
 func dequeRun(cfg tso.Config, waitDelta bool, nItems, thieves int) (map[tso.Word]int, tso.Result) {
 	m := tso.New(cfg)
 	d := NewDeque(m, 64, cfg.Delta, waitDelta)

@@ -51,6 +51,8 @@ func (d *Deque) slot(i tso.Word) tso.Addr {
 
 // Push adds v at the bottom (owner only). It reports false when the
 // deque is full. Plain stores only — no fence, no atomics.
+//
+//tbtso:fencefree
 func (d *Deque) Push(th *tso.Thread, v tso.Word) bool {
 	b := th.Load(d.bottom) // forwarded from own buffer if pending
 	t := th.Load(d.top)
@@ -65,6 +67,8 @@ func (d *Deque) Push(th *tso.Thread, v tso.Word) bool {
 // Take removes the most recently pushed item (owner only). The common
 // case is two plain stores and two loads with no fence between the
 // bottom store and the top load — the paper's fast path shape.
+//
+//tbtso:fencefree
 func (d *Deque) Take(th *tso.Thread) (tso.Word, bool) {
 	b := th.Load(d.bottom) - 1
 	th.Store(d.bottom, b)
@@ -89,7 +93,10 @@ func (d *Deque) Take(th *tso.Thread) (tso.Word, bool) {
 
 // Steal takes the oldest item (any thread). The sound protocol reads
 // top, waits Δ ticks so every owner store older than the top read is
-// visible, and only then reads bottom.
+// visible, and only then reads bottom. Fence-free on both sides: the
+// Δ wait replaces the fence the classic algorithm needs here.
+//
+//tbtso:fencefree
 func (d *Deque) Steal(th *tso.Thread) (tso.Word, bool) {
 	t := th.Load(d.top)
 	if d.waitDelta {

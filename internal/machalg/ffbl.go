@@ -102,6 +102,8 @@ func (b *FFBL) boundPassed(th *tso.Thread, t0 uint64) bool {
 // enter immediately (the common case). Otherwise lower flag0 — echoing
 // flag1's version so the non-owner can cut its Δ wait short — and spin
 // on trylock(L).
+//
+//tbtso:fencefree
 func (b *FFBL) OwnerLock(th *tso.Thread) {
 	th.Store(b.flag0, packFlag(0, 1))
 	// no fence (the whole point)
@@ -125,6 +127,8 @@ func (b *FFBL) OwnerLock(th *tso.Thread) {
 
 // OwnerUnlock is Figure 3g: branch on flag0.f (read through the store
 // buffer, so the owner sees its own latest write).
+//
+//tbtso:fencefree
 func (b *FFBL) OwnerUnlock(th *tso.Thread) {
 	if _, f := unpackFlag(th.Load(b.flag0)); f == 1 {
 		th.Store(b.flag0, packFlag(0, 0))
@@ -137,6 +141,8 @@ func (b *FFBL) OwnerUnlock(th *tso.Thread) {
 // OtherLock is Figure 3h: acquire L, raise a new version of flag1,
 // fence, then wait until Δ ticks pass or the owner echoes our version;
 // finally wait for flag0.f = 0.
+//
+//tbtso:requires-fence
 func (b *FFBL) OtherLock(th *tso.Thread) {
 	b.l.Lock(th)
 	v1, _ := unpackFlag(th.Load(b.flag1))
@@ -162,6 +168,8 @@ func (b *FFBL) OtherLock(th *tso.Thread) {
 
 // OtherUnlock is Figure 3h's unlock: bump flag1's version with the flag
 // down, then release L.
+//
+//tbtso:fencefree
 func (b *FFBL) OtherUnlock(th *tso.Thread) {
 	v1, _ := unpackFlag(th.Load(b.flag1))
 	th.Store(b.flag1, packFlag(v1+1, 0))
@@ -181,6 +189,8 @@ func NewBaselineBiased(m *tso.Machine) *BaselineBiased {
 }
 
 // OwnerLock is Figure 3b.
+//
+//tbtso:requires-fence
 func (b *BaselineBiased) OwnerLock(th *tso.Thread) {
 	th.Store(b.flag0, 1)
 	th.Fence()
@@ -200,6 +210,8 @@ func (b *BaselineBiased) OwnerUnlock(th *tso.Thread) {
 }
 
 // OtherLock is Figure 3d.
+//
+//tbtso:requires-fence
 func (b *BaselineBiased) OtherLock(th *tso.Thread) {
 	b.l.Lock(th)
 	th.Store(b.flag1, 1)

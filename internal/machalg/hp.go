@@ -135,21 +135,43 @@ func (d *HPDomain) slot(t, i int) tso.Addr {
 // HPFenced mode, issues the fence that orders the write before the
 // caller's validation read. It reports whether the caller must validate
 // its source pointer afterwards (false only in HPNone mode, which does
-// not publish at all).
+// not publish at all). The two disciplines are split into separately
+// annotated helpers so tbtso-lint can verify each statically.
 func (d *HPDomain) Protect(th *tso.Thread, i int, obj tso.Addr) bool {
 	if d.mode == HPNone {
 		return false
 	}
-	th.Store(d.slot(th.ID(), i), tso.Word(obj))
 	if d.mode == HPFenced {
-		th.Fence()
+		d.protectFenced(th, i, obj)
+	} else {
+		d.protectFenceFree(th, i, obj)
 	}
 	return true
+}
+
+// protectFenceFree is the FFHP publication (Figure 2b): a plain store,
+// no fence — sound only under a visibility bound (TBTSO's Δ or the
+// §6.2 time array).
+//
+//tbtso:fencefree
+func (d *HPDomain) protectFenceFree(th *tso.Thread, i int, obj tso.Addr) {
+	th.Store(d.slot(th.ID(), i), tso.Word(obj))
+}
+
+// protectFenced is the standard HP publication (Figure 2a): the fence
+// orders the hazard-pointer write before the caller's validation read.
+//
+//tbtso:requires-fence
+func (d *HPDomain) protectFenced(th *tso.Thread, i int, obj tso.Addr) {
+	th.Store(d.slot(th.ID(), i), tso.Word(obj))
+	th.Fence()
 }
 
 // Copy sets hazard pointer j to the value already protected by hazard
 // pointer i (j > i). Per §4.1 no fence is needed in any mode, provided
 // reclaimers scan slots in ascending index order.
+//
+//tbtso:fencefree
 func (d *HPDomain) Copy(th *tso.Thread, j int, obj tso.Addr) {
 	if d.mode == HPNone {
 		return
@@ -158,6 +180,8 @@ func (d *HPDomain) Copy(th *tso.Thread, j int, obj tso.Addr) {
 }
 
 // Clear resets hazard pointer i.
+//
+//tbtso:fencefree
 func (d *HPDomain) Clear(th *tso.Thread, i int) {
 	th.Store(d.slot(th.ID(), i), 0)
 }
@@ -167,6 +191,12 @@ func (d *HPDomain) Clear(th *tso.Thread, i int) {
 // visible (the list's removal CAS does so). In HPFenceFree mode the
 // retire loop runs reclaim() until rcount drops below R; the paper
 // shows this loop is wait-free (at most Δ iterations) when R > H.
+//
+// No fence in any mode: retire-side ordering comes from the removal
+// CAS, which is why Retire carries the fencefree contract.
+//
+//tbtso:fencefree
+//tbtso:ignore escape rlists/rcount are per-thread (indexed by th.ID()), thread-private in the paper too (Figure 2 line 32); stats are mutex-protected Go-side bookkeeping outside the modeled memory
 func (d *HPDomain) Retire(th *tso.Thread, obj tso.Addr) {
 	id := th.ID()
 	now := th.Clock()
@@ -193,6 +223,9 @@ func (d *HPDomain) Retire(th *tso.Thread, obj tso.Addr) {
 // Reclaim is Figure 2's reclaim(): scan every hazard pointer in the
 // system (ascending index order), then free every sufficiently old
 // retired object no scanned pointer protects.
+//
+//tbtso:fencefree
+//tbtso:ignore escape rlists/rcount are per-thread (indexed by th.ID()), thread-private in the paper too; stats are mutex-protected Go-side bookkeeping outside the modeled memory
 func (d *HPDomain) Reclaim(th *tso.Thread) {
 	id := th.ID()
 	var cutoff uint64

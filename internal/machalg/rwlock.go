@@ -33,6 +33,8 @@ func NewPRWLock(m *tso.Machine, n int, delta uint64) *PRWLock {
 
 // RLock enters the read side for reader slot r. The fast path — no
 // writer around — is one plain store and one load, fence-free.
+//
+//tbtso:fencefree
 func (l *PRWLock) RLock(th *tso.Thread, r int) {
 	slot := l.readers + tso.Addr(r)
 	for {
@@ -50,6 +52,8 @@ func (l *PRWLock) RLock(th *tso.Thread, r int) {
 }
 
 // RUnlock leaves the read side.
+//
+//tbtso:fencefree
 func (l *PRWLock) RUnlock(th *tso.Thread, r int) {
 	th.Store(l.readers+tso.Addr(r), 0)
 }
@@ -57,6 +61,8 @@ func (l *PRWLock) RUnlock(th *tso.Thread, r int) {
 // Lock acquires the write side: serialize writers, publish intent,
 // fence, wait Δ (every reader flag raised before our publication is
 // now visible), then wait for raised flags to drop.
+//
+//tbtso:requires-fence
 func (l *PRWLock) Lock(th *tso.Thread) {
 	l.wl.Lock(th)
 	th.Store(l.writer, 1)

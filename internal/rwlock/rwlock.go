@@ -51,6 +51,8 @@ func New(n int, bound core.Bound) *PRWLock {
 
 // RLock enters the read side on slot r: one store and one load on the
 // fast path, no fence, no read-modify-write.
+//
+//tbtso:fencefree
 func (l *PRWLock) RLock(r int) {
 	s := &l.readers[r]
 	for {
@@ -70,11 +72,13 @@ func (l *PRWLock) RLock(r int) {
 }
 
 // RUnlock leaves the read side on slot r.
+//tbtso:fencefree
 func (l *PRWLock) RUnlock(r int) {
 	l.readers[r].flag.Store(0)
 }
 
 // Lock acquires the write side.
+//tbtso:requires-fence
 func (l *PRWLock) Lock() {
 	l.wmu.Lock()
 	l.writer.Store(1)

@@ -60,6 +60,8 @@ func NewDTA(cfg Config) *DTA {
 func (d *DTA) Name() string { return string(KindDTA) }
 
 // OpBegin implements Scheme: timestamp + fence + anchor CAS.
+//
+//tbtso:requires-fence
 func (d *DTA) OpBegin(tid int, _ uint64) {
 	d.ts[tid].v.Store(vclock.Now())
 	d.fences.Full(tid)

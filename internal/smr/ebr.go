@@ -49,6 +49,8 @@ func (e *EBR) Name() string { return string(KindEBR) }
 // OpBegin implements Scheme: announce the current epoch as active. The
 // announce store must be ordered before the traversal's loads, which on
 // TSO requires a fence — the cost HP and EBR share and FFHP sheds.
+//
+//tbtso:requires-fence
 func (e *EBR) OpBegin(tid int, _ uint64) {
 	cur := e.epoch.Load()
 	e.locals[tid].v.Store(int64(cur<<1 | 1))

@@ -74,16 +74,36 @@ func (g *Guards) OpBegin(int, uint64) {}
 func (g *Guards) OpEnd(int) {}
 
 // Protect implements Scheme: post the guard; the fenced original orders
-// it before the caller's validation read.
+// it before the caller's validation read. As with HazardPointers, the
+// two disciplines are separately annotated helpers.
 func (g *Guards) Protect(tid, slot int, h arena.Handle) bool {
-	g.slots[tid*g.k+slot].h.Store(uint64(h))
 	if g.fenced {
-		g.fences.Full(tid)
+		g.postFenced(tid, slot, h)
+	} else {
+		g.postFenceFree(tid, slot, h)
 	}
 	return true
 }
 
+// postFenceFree posts the guard with a plain store — the fence-free
+// transformation of §4 applied to pass-the-buck guards.
+//
+//tbtso:fencefree
+func (g *Guards) postFenceFree(tid, slot int, h arena.Handle) {
+	g.slots[tid*g.k+slot].h.Store(uint64(h))
+}
+
+// postFenced posts the guard and fences (the original HLMM discipline).
+//
+//tbtso:requires-fence
+func (g *Guards) postFenced(tid, slot int, h arena.Handle) {
+	g.slots[tid*g.k+slot].h.Store(uint64(h))
+	g.fences.Full(tid)
+}
+
 // Copy implements Scheme (§4.1's copy rule holds for guards too).
+//
+//tbtso:fencefree
 func (g *Guards) Copy(tid, slot int, h arena.Handle) {
 	g.slots[tid*g.k+slot].h.Store(uint64(h))
 }

@@ -127,18 +127,40 @@ func (hp *HazardPointers) OpEnd(int) {}
 // standard HP, fence so the publication precedes the caller's
 // validation read. Both variants require validation; FFHP merely skips
 // the fence (§4.2: "we omit the fence from the hazard pointer
-// validation code").
+// validation code"). The two disciplines live in separately annotated
+// helpers so tbtso-lint can enforce each statically.
 func (hp *HazardPointers) Protect(tid, slot int, h arena.Handle) bool {
-	hp.slots[tid*hp.k+slot].h.Store(uint64(h))
 	if hp.fenced {
-		hp.fences.Full(tid)
+		hp.protectFenced(tid, slot, h)
+	} else {
+		hp.protectFenceFree(tid, slot, h)
 	}
 	return true
+}
+
+// protectFenceFree is FFHP's publication (Figure 2b): a plain store
+// with no serializing instruction — the fast-path saving the whole
+// paper is about. Sound only under a visibility bound.
+//
+//tbtso:fencefree
+func (hp *HazardPointers) protectFenceFree(tid, slot int, h arena.Handle) {
+	hp.slots[tid*hp.k+slot].h.Store(uint64(h))
+}
+
+// protectFenced is standard HP's publication (Figure 2a): the fence
+// orders the hazard-pointer store before the validation read.
+//
+//tbtso:requires-fence
+func (hp *HazardPointers) protectFenced(tid, slot int, h arena.Handle) {
+	hp.slots[tid*hp.k+slot].h.Store(uint64(h))
+	hp.fences.Full(tid)
 }
 
 // Copy implements Scheme: copying from a lower slot needs no fence in
 // either variant, because reclaimers scan slots in ascending order and
 // TSO preserves store order (§4.1).
+//
+//tbtso:fencefree
 func (hp *HazardPointers) Copy(tid, slot int, h arena.Handle) {
 	hp.slots[tid*hp.k+slot].h.Store(uint64(h))
 }
@@ -149,7 +171,12 @@ func (hp *HazardPointers) Visit(int) bool { return false }
 // UpdateHint implements Scheme.
 func (hp *HazardPointers) UpdateHint(int, uint64) {}
 
-// Retire implements Scheme (Figure 2 retire()).
+// Retire implements Scheme (Figure 2 retire()). Fence-free in both
+// variants — and transitively so through reclaim() and arena.Free,
+// which tbtso-lint verifies: the §4.2 progress argument (the retire
+// loop terminates within Δ) assumes the loop body issues no fence.
+//
+//tbtso:fencefree
 func (hp *HazardPointers) Retire(tid int, h arena.Handle) {
 	t := &hp.perTh[tid]
 	t.entries = append(t.entries, retired{h: h, t: vclock.Now()})

@@ -62,6 +62,8 @@ func NewStackTrack(cfg Config) *StackTrack {
 func (s *StackTrack) Name() string { return string(KindStack) }
 
 // OpBegin implements Scheme: transaction begin.
+//
+//tbtso:requires-fence
 func (s *StackTrack) OpBegin(tid int, shard uint64) {
 	t := &s.perTh[tid]
 	t.shard = shard % stShards
@@ -73,6 +75,8 @@ func (s *StackTrack) OpBegin(tid int, shard uint64) {
 }
 
 // OpEnd implements Scheme: final commit.
+//
+//tbtso:requires-fence
 func (s *StackTrack) OpEnd(tid int) {
 	s.fences.Full(tid) // XEND-equivalent
 	s.inner.OpEnd(tid)
