@@ -4,6 +4,7 @@
 //	tbtso-bench -figure 6 -quick       # Figure 6 at CI scale
 //	tbtso-bench -figure 8 -dur 2s      # longer cells
 //	tbtso-bench -figure 5 -csv         # raw CDF series as CSV
+//	tbtso-bench -figure fig6 -json     # machine-readable figure series
 //	tbtso-bench -figure sizing         # the §4.2.1 sizing numbers
 //
 // The absolute numbers come from this machine and Go's runtime, not the
@@ -12,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +21,7 @@ import (
 	"time"
 
 	"tbtso/internal/bench"
+	"tbtso/internal/obs"
 	"tbtso/internal/quiesce"
 	"tbtso/internal/report"
 )
@@ -33,6 +36,8 @@ func main() {
 		buckets = flag.Int("buckets", 0, "hash table buckets (default 1024, quick 128)")
 		runs    = flag.Int("runs", 0, "repetitions per cell, median reported (default 3, quick 1)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		jsonOut = flag.Bool("json", false, `emit all figures as one JSON document ({"figures": [...]})`)
+		metrics = flag.Bool("metrics", false, "print the harness metrics registry to stderr after the run")
 	)
 	flag.Parse()
 
@@ -59,17 +64,30 @@ func main() {
 		Runs:     *runs,
 		Quick:    *quick,
 	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+		o.Metrics = reg
+	}
 
+	// With -json, tables are collected and emitted as one document at
+	// the end; progress/timing stays on stderr so stdout parses clean.
+	var figures []*report.Table
 	emit := func(t *report.Table) {
-		if *csv {
+		switch {
+		case *jsonOut:
+			figures = append(figures, t)
+		case *csv:
 			t.CSV(os.Stdout)
-		} else {
+		default:
 			t.Render(os.Stdout)
 		}
 	}
 
 	run := func(name string) {
 		start := time.Now()
+		// Accept "fig6"/"figure6" spellings for the numbered figures.
+		name = strings.TrimPrefix(strings.TrimPrefix(name, "figure"), "fig")
 		switch name {
 		case "4":
 			emit(bench.Figure4(o))
@@ -111,9 +129,21 @@ func main() {
 		for _, f := range []string{"4", "5", "bailout", "6", "7", "8", "sizing"} {
 			run(f)
 		}
-		return
+	} else {
+		for _, f := range strings.Split(*figure, ",") {
+			run(strings.TrimSpace(f))
+		}
 	}
-	for _, f := range strings.Split(*figure, ",") {
-		run(strings.TrimSpace(f))
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{"figures": figures}); err != nil {
+			fmt.Fprintf(os.Stderr, "encoding figures: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if reg != nil {
+		reg.WriteText(os.Stderr)
 	}
 }

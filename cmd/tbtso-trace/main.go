@@ -1,0 +1,132 @@
+// Command tbtso-trace runs one execution on the TBTSO abstract machine
+// with streaming sinks attached and exports it as a Chrome
+// trace-event/Perfetto JSON file (open at https://ui.perfetto.dev),
+// plus a metrics summary on stdout.
+//
+//	tbtso-trace -test SB -delta 50 -o trace.json     # a litmus test
+//	tbtso-trace -demo reclaim -o trace.json          # the §4 reclamation race
+//	tbtso-trace -demo deque -delta 200 -o trace.json # the §8 work-stealing run
+//	tbtso-trace -list                                # available litmus tests
+//
+// The trace has one track per machine thread: dur-1 slices for stores,
+// loads, RMWs and fences; commit slices carrying the drain cause; flow
+// arrows from each store to its commit (the store-buffer residency);
+// and a buffered-stores counter track per thread.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tbtso/internal/litmus"
+	"tbtso/internal/machalg"
+	"tbtso/internal/obs"
+	"tbtso/internal/tso"
+)
+
+func main() {
+	var (
+		test   = flag.String("test", "", "litmus test name to run (see -list)")
+		demo   = flag.String("demo", "", "machine-algorithm demo to run: reclaim or deque")
+		delta  = flag.Uint64("delta", 50, "TBTSO Δ bound in ticks (0 = plain TSO)")
+		seed   = flag.Int64("seed", 1, "scheduler seed")
+		policy = flag.String("policy", "random", "drain policy: eager, random, or adversarial")
+		out    = flag.String("o", "trace.json", "output trace file")
+		list   = flag.Bool("list", false, "list the available litmus tests and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("litmus tests:")
+		for _, e := range litmus.All() {
+			note := ""
+			if e.NeedsDelta {
+				note = "  (needs -delta > 0)"
+			}
+			fmt.Printf("  %-28s %s%s\n", e.Test.Name, e.Test.Doc, note)
+		}
+		fmt.Println("demos: reclaim, deque")
+		return
+	}
+	if (*test == "") == (*demo == "") {
+		fmt.Fprintln(os.Stderr, "exactly one of -test or -demo is required (try -list)")
+		os.Exit(2)
+	}
+
+	var pol tso.DrainPolicy
+	switch *policy {
+	case "eager":
+		pol = tso.DrainEager
+	case "random":
+		pol = tso.DrainRandom
+	case "adversarial":
+		pol = tso.DrainAdversarial
+	default:
+		fmt.Fprintf(os.Stderr, "unknown drain policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	reg := obs.NewRegistry()
+	perf := obs.NewPerfetto()
+	sinks := []tso.Sink{perf, obs.NewMachineMetrics(reg)}
+
+	switch {
+	case *test != "":
+		runLitmus(*test, tso.Config{Delta: *delta, Policy: pol, Seed: *seed, Sinks: sinks})
+	case *demo == "reclaim":
+		r := machalg.ReclaimRaceDemo(*delta, machalg.HPFenceFree, sinks...)
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "reclaim demo: %v\n", r.Err)
+			os.Exit(1)
+		}
+		fmt.Printf("reclaim race (Δ=%d, FFHP): use-after-free=%v freed-early=%v\n",
+			*delta, r.UseAfterFree, r.FreedEarly)
+	case *demo == "deque":
+		r := machalg.DequeOnce(*delta, 0, *delta > 0, *seed, sinks...)
+		fmt.Printf("deque harvest (Δ=%d, seed=%d): duplicated=%d lost=%d\n",
+			*delta, *seed, r.Duplicated, r.Lost)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown demo %q (want reclaim or deque)\n", *demo)
+		os.Exit(2)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := perf.WriteJSON(f); err == nil {
+		err = f.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "writing %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d trace events) — open at https://ui.perfetto.dev\n", *out, perf.EventCount())
+
+	fmt.Println("\nmetrics:")
+	reg.WriteText(os.Stdout)
+}
+
+func runLitmus(name string, cfg tso.Config) {
+	for _, e := range litmus.All() {
+		if !strings.EqualFold(e.Test.Name, name) {
+			continue
+		}
+		out, err := litmus.Once(e.Test, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Test.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s (Δ=%d, policy=%v, seed=%d): %s\n",
+			e.Test.Name, cfg.Delta, cfg.Policy, cfg.Seed, out.Key())
+		if e.Test.Forbidden != nil && e.Test.Forbidden(out) {
+			fmt.Println("  NOTE: this outcome is forbidden under the test's target model")
+		}
+		return
+	}
+	fmt.Fprintf(os.Stderr, "unknown litmus test %q (try -list)\n", name)
+	os.Exit(2)
+}

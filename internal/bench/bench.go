@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"tbtso/internal/machalg"
+	"tbtso/internal/obs"
 	"tbtso/internal/ostick"
 	"tbtso/internal/quiesce"
 	"tbtso/internal/report"
@@ -36,6 +37,11 @@ type Options struct {
 	TickPeriod time.Duration
 	// Quick selects CI-scale sizes.
 	Quick bool
+	// Metrics, if non-nil, receives each run's counters and
+	// distributions: the quiescence model's histograms, SMR scheme
+	// counters ("smr.<name>.*") and biased-lock counters
+	// ("lock.<name>.*"). Totals accumulate across cells.
+	Metrics *obs.Registry
 }
 
 // Defaults fills zero fields.
@@ -88,6 +94,7 @@ func (o Options) newBoard() *ostick.Board {
 func Figure4(o Options) *report.Table {
 	o = o.Defaults()
 	p := quiesce.DefaultParams()
+	p.Metrics = o.Metrics
 	t := report.NewTable(
 		"Figure 4 — time to reach system-wide quiescence vs quiescing threads (timing model)",
 		"threads", "quiesce avg", "quiesce max", "normal atomic", "slowdown")
@@ -109,6 +116,7 @@ func Figure4(o Options) *report.Table {
 func Figure5(o Options) *report.Table {
 	o = o.Defaults()
 	p := quiesce.DefaultParams()
+	p.Metrics = o.Metrics
 	samples := 2_000_000
 	if o.Quick {
 		samples = 200_000
@@ -171,6 +179,7 @@ func MachineCost(o Options) *report.Table {
 func Bailout(o Options) *report.Table {
 	o = o.Defaults()
 	p := quiesce.DefaultParams()
+	p.Metrics = o.Metrics
 	tau := quiesce.EstimateTimeout(p)
 	samples := 2_000_000
 	if o.Quick {

@@ -102,7 +102,7 @@ func TestRunLockPatternCounts(t *testing.T) {
 	}
 	pat := workload.LockPattern{Name: "t", OwnerMean: time.Microsecond, OtherMean: 50 * time.Microsecond}
 	for i, mk := range locks {
-		res := runLockPattern(mk, pat, 30*time.Millisecond)
+		res := runLockPattern(mk, pat, 30*time.Millisecond, nil)
 		if res.OwnerRate <= 0 || res.OtherRate <= 0 {
 			t.Fatalf("%s: owner %v other %v", names[i], res.OwnerRate, res.OtherRate)
 		}

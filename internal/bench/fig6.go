@@ -10,6 +10,7 @@ import (
 	"tbtso/internal/arena"
 	"tbtso/internal/hashtable"
 	"tbtso/internal/list"
+	"tbtso/internal/obs"
 	"tbtso/internal/ostick"
 	"tbtso/internal/report"
 	"tbtso/internal/smr"
@@ -51,6 +52,14 @@ type tableConfig struct {
 	sampleWaste bool
 	// r overrides the retirement threshold (0 = harnessR).
 	r int
+	// metrics, if non-nil, receives the scheme's counters after the run.
+	metrics *obs.Registry
+}
+
+// schemeMetrics is implemented by SMR schemes (and locks) that can
+// publish their internal counters into a registry.
+type schemeMetrics interface {
+	Metrics(*obs.Registry)
 }
 
 // runTable executes one workload cell.
@@ -214,6 +223,12 @@ func runTable(cfg tableConfig) TableRun {
 	wg.Wait()
 	samplerWG.Wait()
 
+	if cfg.metrics != nil {
+		if sm, ok := scheme.(schemeMetrics); ok {
+			sm.Metrics(cfg.metrics)
+		}
+	}
+
 	secs := cfg.duration.Seconds()
 	return TableRun{
 		Scheme:      scheme.Name(),
@@ -241,6 +256,7 @@ type TableCell struct {
 	Stall       time.Duration
 	SampleWaste bool
 	R           int
+	Metrics     *obs.Registry
 }
 
 // RunTableCell executes one hash-table workload cell.
@@ -250,6 +266,7 @@ func RunTableCell(c TableCell) TableRun {
 		threads: c.Threads, buckets: c.Buckets,
 		duration: c.Duration, deltaHW: c.DeltaHW, board: c.Board,
 		stall: c.Stall, sampleWaste: c.SampleWaste, r: c.R,
+		metrics: c.Metrics,
 	})
 }
 
@@ -281,6 +298,7 @@ func Figure6Scaling(o Options) *report.Table {
 					kind: kind, mix: workload.ReadOnly, chainLen: 4,
 					threads: n, buckets: o.Buckets,
 					duration: o.Duration, deltaHW: o.DeltaHW, board: board,
+					metrics: o.Metrics,
 				})
 				rates = append(rates, res.ReaderRate)
 			}
@@ -326,6 +344,7 @@ func Figure6(o Options) *report.Table {
 						kind: kind, mix: mix, chainLen: L,
 						threads: o.Threads, buckets: o.Buckets,
 						duration: o.Duration, deltaHW: o.DeltaHW, board: board,
+						metrics: o.Metrics,
 					})
 					rates = append(rates, res.ReaderRate)
 					upRates = append(upRates, res.UpdaterRate)

@@ -46,7 +46,8 @@ func Figure7(o Options) *report.Table {
 					stall: stall, sampleWaste: true,
 					// R scaled with the run length (the paper's 32000
 					// pairs with 10 s runs) so reclamation exercises.
-					r: 2048,
+					r:       2048,
+					metrics: o.Metrics,
 				})
 				peaks = append(peaks, float64(res.PeakWaste))
 			}

@@ -9,6 +9,7 @@ import (
 
 	"tbtso/internal/core"
 	"tbtso/internal/lock"
+	"tbtso/internal/obs"
 	"tbtso/internal/report"
 	"tbtso/internal/stats"
 	"tbtso/internal/workload"
@@ -24,8 +25,10 @@ type LockRates struct {
 
 // runLockPattern measures owner and non-owner acquisition throughput
 // for one lock under one access pattern (§7.2: two threads, random
-// interarrival delays simulating application work).
-func runLockPattern(mk func() lock.BiasedLock, pat workload.LockPattern, dur time.Duration) LockRates {
+// interarrival delays simulating application work). If reg is non-nil
+// the lock's counters (bias revocations, transfers, echoes) are
+// published into it after the run.
+func runLockPattern(mk func() lock.BiasedLock, pat workload.LockPattern, dur time.Duration, reg *obs.Registry) LockRates {
 	lk := mk()
 	var ownerN, otherN stats.Counter
 	var stop atomic.Bool
@@ -75,6 +78,11 @@ func runLockPattern(mk func() lock.BiasedLock, pat workload.LockPattern, dur tim
 	time.Sleep(dur)
 	stop.Store(true)
 	wg.Wait()
+	if reg != nil {
+		if lm, ok := lk.(schemeMetrics); ok {
+			lm.Metrics(reg)
+		}
+	}
 	secs := dur.Seconds()
 	return LockRates{
 		Lock:      lk.Name(),
@@ -87,7 +95,7 @@ func runLockPattern(mk func() lock.BiasedLock, pat workload.LockPattern, dur tim
 // RunLockCell executes one (lock, pattern) cell — the public wrapper
 // used by the root benchmark suite.
 func RunLockCell(mk func() lock.BiasedLock, pat workload.LockPattern, dur time.Duration) LockRates {
-	return runLockPattern(mk, pat, dur)
+	return runLockPattern(mk, pat, dur, nil)
 }
 
 // Figure8Locks builds the lock lineup of Figure 8; the caller owns the
@@ -127,7 +135,7 @@ func Figure8(o Options) *report.Table {
 			others := make([]float64, 0, o.Runs)
 			var name string
 			for run := 0; run < o.Runs; run++ {
-				res := runLockPattern(mk, pat, dur)
+				res := runLockPattern(mk, pat, dur, o.Metrics)
 				owners = append(owners, res.OwnerRate)
 				others = append(others, res.OtherRate)
 				name = res.Lock

@@ -2,9 +2,11 @@ package lock
 
 import (
 	"runtime"
+	"sync/atomic"
 
 	"tbtso/internal/core"
 	"tbtso/internal/fence"
+	"tbtso/internal/obs"
 	"tbtso/internal/vclock"
 )
 
@@ -26,6 +28,18 @@ type FFBL struct {
 	bound core.Bound
 	echo  bool
 	name  string
+
+	// Observability counters, updated on the SLOW paths only — the
+	// owner's fenceless fast path never touches them. revocations
+	// counts owner acquisitions that fell back to the internal lock
+	// (the bias was revoked by a concurrent non-owner); transfers
+	// counts non-owner acquisitions (each is one bias transfer through
+	// L); echoes counts non-owner waits cut short by the owner's echo.
+	revocations atomic.Uint64
+	transfers   atomic.Uint64
+	echoes      atomic.Uint64
+
+	pub struct{ revocations, transfers, echoes obs.Publisher }
 }
 
 // NewFFBL creates a fence-free biased lock over the given bound.
@@ -52,6 +66,7 @@ func (b *FFBL) OwnerLock() {
 	if _, f := unpackFlag(b.flag1.v.Load()); f == 0 {
 		return // fast path: in the critical section with flag0.f = 1
 	}
+	b.revocations.Add(1)
 	for spins := 0; ; spins++ {
 		v1, _ := unpackFlag(b.flag1.v.Load())
 		if b.echo {
@@ -85,6 +100,7 @@ func (b *FFBL) OwnerUnlock() {
 //tbtso:requires-fence
 func (b *FFBL) OtherLock() {
 	b.l.Lock()
+	b.transfers.Add(1)
 	v1, _ := unpackFlag(b.flag1.v.Load())
 	myV := v1 + 1
 	b.flag1.v.Store(packFlag(myV, 1))
@@ -93,6 +109,7 @@ func (b *FFBL) OtherLock() {
 	for spins := 0; !b.bound.Eligible(t0); spins++ {
 		if b.echo {
 			if v0, _ := unpackFlag(b.flag0.v.Load()); v0 == myV {
+				b.echoes.Add(1)
 				break // owner echoed: it is spinning on L, not in the CS
 			}
 		}
@@ -117,4 +134,25 @@ func (b *FFBL) OtherUnlock() {
 	v1, _ := unpackFlag(b.flag1.v.Load())
 	b.flag1.v.Store(packFlag(v1+1, 0))
 	b.l.Unlock()
+}
+
+// Revocations reports owner acquisitions that lost the bias and took
+// the internal lock; Transfers reports non-owner acquisitions.
+func (b *FFBL) Revocations() uint64 { return b.revocations.Load() }
+
+// Transfers reports non-owner (bias-transfer) acquisitions.
+func (b *FFBL) Transfers() uint64 { return b.transfers.Load() }
+
+// Echoes reports non-owner waits the owner's echo cut short.
+func (b *FFBL) Echoes() uint64 { return b.echoes.Load() }
+
+// Metrics publishes the lock's counters into reg under
+// "lock.<name>." names. Successive calls add only the growth since
+// the previous call, so several lock instances accumulate into one
+// registry.
+func (b *FFBL) Metrics(reg *obs.Registry) {
+	prefix := "lock." + b.name + "."
+	b.pub.revocations.Publish(reg.Counter(prefix+"revocations"), b.revocations.Load())
+	b.pub.transfers.Publish(reg.Counter(prefix+"bias_transfers"), b.transfers.Load())
+	b.pub.echoes.Publish(reg.Counter(prefix+"echoes"), b.echoes.Load())
 }

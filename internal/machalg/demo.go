@@ -25,9 +25,12 @@ type ReclaimRaceOutcome struct {
 // OUTSIDE the machine model: they direct the interleaving and must not
 // themselves be subject to the store buffering they orchestrate.
 //
+// Any sinks are attached to the machine, so the run can be traced
+// (tbtso-trace -demo reclaim).
+//
 //tbtso:ignore escape harness handshake flags and the captured outcome struct intentionally bypass the model to direct the schedule; they are not algorithm memory
-func ReclaimRaceDemo(delta uint64, mode HPMode) ReclaimRaceOutcome {
-	cfg := tso.Config{Delta: delta, Policy: tso.DrainAdversarial, Seed: 1, MaxTicks: 1_000_000}
+func ReclaimRaceDemo(delta uint64, mode HPMode, sinks ...tso.Sink) ReclaimRaceOutcome {
+	cfg := tso.Config{Delta: delta, Policy: tso.DrainAdversarial, Seed: 1, MaxTicks: 1_000_000, Sinks: sinks}
 	m := tso.New(cfg)
 	alloc := NewAllocator(m, 4, nodeWords)
 	hp := NewHPDomain(m, alloc, mode, 2, 3, 7, delta)
@@ -126,6 +129,32 @@ func DequeDemo(delta uint64, bufferCap int, waitDelta bool, seeds int) DequeOutc
 		if dup != 0 || lost != 0 {
 			out.Duplicated, out.Lost = dup, lost
 			return out
+		}
+	}
+	return out
+}
+
+// DequeOnce runs a single seed of the work-stealing harvest with the
+// given sinks attached (tbtso-trace -demo deque). The returned outcome
+// reports duplicates/losses for that one seed.
+func DequeOnce(delta uint64, bufferCap int, waitDelta bool, seed int64, sinks ...tso.Sink) DequeOutcome {
+	out := DequeOutcome{SeedsTried: 1}
+	policy := tso.DrainRandom
+	if bufferCap > 0 {
+		policy = tso.DrainAdversarial
+	}
+	cfg := tso.Config{Delta: delta, BufferCap: bufferCap, Policy: policy, Seed: seed, MaxTicks: 4_000_000, Sinks: sinks}
+	got, res := dequeRun(cfg, waitDelta, 40, 2)
+	if res.Err != nil {
+		return out
+	}
+	for v := tso.Word(1); v <= 40; v++ {
+		switch got[v] {
+		case 1:
+		case 0:
+			out.Lost++
+		default:
+			out.Duplicated++
 		}
 	}
 	return out

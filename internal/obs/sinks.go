@@ -1,0 +1,142 @@
+package obs
+
+import "tbtso/internal/tso"
+
+// RingSink keeps the most recent events of a run in a fixed-capacity
+// ring buffer: the tail of a long execution at O(1) memory, with an
+// allocation-free Emit. Attach it for runs whose full trace would not
+// fit in memory.
+type RingSink struct {
+	buf   []tso.Event
+	next  uint64 // total events seen; next%cap is the write slot
+	total uint64
+}
+
+// NewRingSink returns a ring holding the last n events.
+func NewRingSink(n int) *RingSink {
+	if n <= 0 {
+		panic("obs: ring sink capacity must be positive")
+	}
+	return &RingSink{buf: make([]tso.Event, n)}
+}
+
+// Emit implements tso.Sink. It sits on the model's fast path: one
+// slot write, no allocation, no fence.
+//
+//tbtso:fencefree
+func (r *RingSink) Emit(e tso.Event) {
+	r.buf[r.next%uint64(len(r.buf))] = e
+	r.next++
+	r.total++
+}
+
+// Total reports how many events were emitted over the run, including
+// those the ring has since overwritten.
+func (r *RingSink) Total() uint64 { return r.total }
+
+// Dropped reports how many events were overwritten.
+func (r *RingSink) Dropped() uint64 {
+	if r.total <= uint64(len(r.buf)) {
+		return 0
+	}
+	return r.total - uint64(len(r.buf))
+}
+
+// Events returns the retained events in emission order.
+func (r *RingSink) Events() []tso.Event {
+	n := r.total
+	if n > uint64(len(r.buf)) {
+		n = uint64(len(r.buf))
+	}
+	out := make([]tso.Event, 0, n)
+	start := r.next - n
+	for i := uint64(0); i < n; i++ {
+		out = append(out, r.buf[(start+i)%uint64(len(r.buf))])
+	}
+	return out
+}
+
+// Machine metric names (with the drain-cause counters named
+// "machine.drain.<cause>" per tso.DrainCause.String).
+const (
+	MetricStores        = "machine.stores"
+	MetricLoads         = "machine.loads"
+	MetricRMWs          = "machine.rmws"
+	MetricFences        = "machine.fences"
+	MetricCommits       = "machine.commits"
+	MetricCommitLatency = "machine.commit_latency_ticks"
+	MetricBufOccupancy  = "machine.buf_occupancy"
+)
+
+// CommitLatencyBuckets are the default tick buckets for the
+// commit-latency histogram: exponential, covering sub-tick commits up
+// to Δ values in the hundreds of thousands.
+func CommitLatencyBuckets() []int64 { return ExpBuckets(1, 2, 20) }
+
+// OccupancyBuckets are the default buckets for store-buffer depth.
+func OccupancyBuckets() []int64 { return LinearBuckets(1, 1, 32) }
+
+// MachineMetrics is a tso.Sink that folds the machine's event stream
+// into a Registry: operation counters, the drain-cause breakdown, a
+// commit-latency histogram and a store-buffer occupancy histogram
+// (sampled at every enqueue). All metric handles are resolved once at
+// construction, so Emit itself takes no locks and allocates nothing.
+type MachineMetrics struct {
+	stores, loads, rmws, fences, commits *Counter
+	drains                               [tso.NumDrainCauses]*Counter
+	latency                              *Histogram
+	occupancy                            *Histogram
+	depth                                []int // per-thread buffer depth
+}
+
+// NewMachineMetrics returns a sink publishing into reg under the
+// "machine." metric names.
+func NewMachineMetrics(reg *Registry) *MachineMetrics {
+	m := &MachineMetrics{
+		stores:    reg.Counter(MetricStores),
+		loads:     reg.Counter(MetricLoads),
+		rmws:      reg.Counter(MetricRMWs),
+		fences:    reg.Counter(MetricFences),
+		commits:   reg.Counter(MetricCommits),
+		latency:   reg.Histogram(MetricCommitLatency, CommitLatencyBuckets()),
+		occupancy: reg.Histogram(MetricBufOccupancy, OccupancyBuckets()),
+	}
+	for c := 0; c < tso.NumDrainCauses; c++ {
+		m.drains[c] = reg.Counter("machine.drain." + tso.DrainCause(c).String())
+	}
+	return m
+}
+
+// BeginRun implements tso.RunObserver: it sizes the per-thread depth
+// table so Emit never allocates.
+func (m *MachineMetrics) BeginRun(names []string, delta uint64) {
+	m.depth = make([]int, len(names))
+}
+
+// Emit implements tso.Sink on the model's fast path: counter bumps and
+// two histogram observations, allocation-free.
+//
+//tbtso:fencefree
+func (m *MachineMetrics) Emit(e tso.Event) {
+	switch e.Kind {
+	case tso.EvStore:
+		m.stores.Inc()
+		if e.Thread < len(m.depth) {
+			m.depth[e.Thread]++
+			m.occupancy.Observe(int64(m.depth[e.Thread]))
+		}
+	case tso.EvCommit:
+		m.commits.Inc()
+		m.drains[e.Cause].Inc()
+		m.latency.Observe(int64(e.Tick - e.Enq))
+		if e.Thread < len(m.depth) && m.depth[e.Thread] > 0 {
+			m.depth[e.Thread]--
+		}
+	case tso.EvLoad:
+		m.loads.Inc()
+	case tso.EvRMW:
+		m.rmws.Inc()
+	case tso.EvFence:
+		m.fences.Inc()
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"time"
 
+	"tbtso/internal/obs"
 	"tbtso/internal/stats"
 )
 
@@ -37,6 +38,12 @@ func WithBailout(p Params, pl Placement, load Load, samples int, tau time.Durati
 	rng := rand.New(rand.NewSource(p.Seed ^ 0xb417))
 	h := stats.NewHistogram()
 	res := BailoutResult{Tau: tau, Samples: samples, DeltaBudget: EstimateDelta(p, hwThreads)}
+	var bailouts *obs.Counter
+	var visHist *obs.Histogram
+	if p.Metrics != nil {
+		bailouts = p.Metrics.Counter("quiesce.bailouts")
+		visHist = p.Metrics.Histogram("quiesce.bailout_visibility_ns", nsBuckets())
+	}
 
 	// Resample the raw distribution of StoreVisibilityCDF (same seed
 	// derivation, so the underlying samples match), applying the
@@ -63,10 +70,16 @@ func WithBailout(p Params, pl Placement, load Load, samples int, tau time.Durati
 			// τ plus the serialized quiescence cost for this store and
 			// up to `contenders` concurrent bailouts.
 			res.Bailouts++
+			if bailouts != nil {
+				bailouts.Inc()
+			}
 			q := 1 + rng.Intn(contenders)
 			lat = tau + time.Duration(q)*p.ServiceTime
 		}
 		h.Add(int64(lat))
+		if visHist != nil {
+			visHist.Observe(int64(lat))
+		}
 		if int64(lat) > maxSeen {
 			maxSeen = int64(lat)
 		}

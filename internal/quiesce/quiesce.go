@@ -25,6 +25,7 @@ import (
 	"math/rand"
 	"time"
 
+	"tbtso/internal/obs"
 	"tbtso/internal/stats"
 )
 
@@ -38,7 +39,15 @@ type Params struct {
 	NormalOp time.Duration
 	// Seed drives the deterministic jitter.
 	Seed int64
+	// Metrics, if non-nil, receives the model's distributions:
+	// "quiesce.wait_ns" (per-operation quiescence wait),
+	// "quiesce.visibility_ns" (store-buffering time) and
+	// "quiesce.bailouts" (τ-timeout firings).
+	Metrics *obs.Registry
 }
+
+// nsBuckets covers 16 ns .. ~1 min, exponentially.
+func nsBuckets() []int64 { return obs.ExpBuckets(16, 2, 32) }
 
 // DefaultParams returns the calibration matching §6.1.2.
 func DefaultParams() Params {
@@ -80,6 +89,11 @@ func QuiescenceLatency(p Params, threads, rounds int) Fig4Point {
 	}
 	rng.Shuffle(threads, func(i, j int) { queue[i], queue[j] = queue[j], queue[i] })
 
+	var waitHist *obs.Histogram
+	if p.Metrics != nil {
+		waitHist = p.Metrics.Histogram("quiesce.wait_ns", nsBuckets())
+	}
+
 	var serverFree int64
 	var total, maxLat int64
 	served := 0
@@ -95,6 +109,9 @@ func QuiescenceLatency(p Params, threads, rounds int) Fig4Point {
 			total += lat
 			if lat > maxLat {
 				maxLat = lat
+			}
+			if waitHist != nil {
+				waitHist.Observe(lat)
 			}
 			served++
 			// Thread i re-issues immediately after a tiny gap.
@@ -171,6 +188,10 @@ func transferCost(pl Placement) time.Duration {
 func StoreVisibilityCDF(p Params, pl Placement, load Load, samples int) *stats.Histogram {
 	rng := rand.New(rand.NewSource(p.Seed ^ int64(pl)<<8 ^ int64(load)<<16))
 	h := stats.NewHistogram()
+	var visHist *obs.Histogram
+	if p.Metrics != nil {
+		visHist = p.Metrics.Histogram("quiesce.visibility_ns", nsBuckets())
+	}
 	spikeProb := 0.0005
 	maxSpike := 8 * time.Microsecond
 	if load == LoadStream {
@@ -191,6 +212,9 @@ func StoreVisibilityCDF(p Params, pl Placement, load Load, samples int) *stats.H
 			lat += time.Duration(50+50*rng.Float64()) * time.Microsecond
 		}
 		h.Add(int64(lat))
+		if visHist != nil {
+			visHist.Observe(int64(lat))
+		}
 	}
 	return h
 }

@@ -1,0 +1,75 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTable exercises the writers' edge cases in one fixture:
+// quoting-sensitive cells (commas, quotes, newlines), a cell wider
+// than its header, an empty cell, float formatting, and notes.
+func goldenTable() *Table {
+	tb := NewTable("Golden fixture — writer edge cases", "scheme", "rate", "note")
+	tb.AddRow("FFHP[0.5ms]", 1234567.0, "plain")
+	tb.AddRow("a,comma", 3.14159, `has "quotes"`)
+	tb.AddRow("multi\nline", 0.000123, "")
+	tb.AddRow("x", 42, "cell much wider than its header")
+	tb.AddNote("100%% reproducible")
+	tb.AddNote("second note with a , comma")
+	return tb
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenRender(t *testing.T) {
+	var buf bytes.Buffer
+	goldenTable().Render(&buf)
+	checkGolden(t, "golden_render.txt", buf.Bytes())
+}
+
+func TestGoldenCSV(t *testing.T) {
+	var buf bytes.Buffer
+	goldenTable().CSV(&buf)
+	checkGolden(t, "golden.csv", buf.Bytes())
+}
+
+func TestGoldenJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTable().JSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden.json", buf.Bytes())
+}
+
+func TestJSONEmptyTable(t *testing.T) {
+	tb := NewTable("empty", "h1", "h2")
+	var buf bytes.Buffer
+	if err := tb.JSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// rows must serialize as [] rather than null for downstream parsers.
+	if !bytes.Contains(buf.Bytes(), []byte(`"rows": []`)) {
+		t.Fatalf("empty table rows not []: %s", buf.Bytes())
+	}
+}

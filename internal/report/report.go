@@ -1,8 +1,10 @@
 // Package report renders the benchmark harness's output: aligned ASCII
-// tables (one per paper figure) and CSV series for external plotting.
+// tables (one per paper figure), CSV series for external plotting, and
+// JSON series for machine consumption (tbtso-bench -json).
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -104,6 +106,41 @@ func (t *Table) CSV(w io.Writer) {
 
 // Rows returns the accumulated rows (for tests).
 func (t *Table) Rows() [][]string { return t.rows }
+
+// Notes returns the accumulated footnotes.
+func (t *Table) Notes() []string { return t.notes }
+
+// tableJSON is the wire form of a table: the same title/headers/rows
+// the text renderers use, as data.
+type tableJSON struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler: {title, headers, rows, notes}
+// with rows as arrays of the already-formatted cell strings, so the
+// JSON series matches the CSV column for column.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(tableJSON{
+		Title:   t.Title,
+		Headers: t.Headers,
+		Rows:    rows,
+		Notes:   t.notes,
+	})
+}
+
+// JSON writes the table as indented JSON followed by a newline.
+func (t *Table) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
 
 func max(a, b int) int {
 	if a > b {

@@ -7,6 +7,7 @@ import (
 	"tbtso/internal/arena"
 	"tbtso/internal/core"
 	"tbtso/internal/fence"
+	"tbtso/internal/obs"
 	"tbtso/internal/vclock"
 )
 
@@ -25,6 +26,7 @@ type hpThread struct {
 	scans   uint64   // reclaim() invocations
 	loops   uint64   // iterations of the FFHP retire loop
 	frees   uint64
+	retires uint64 // Retire() calls
 	_       [8]byte
 }
 
@@ -52,6 +54,8 @@ type HazardPointers struct {
 	usemap      bool // ablation: plist as a hash set instead of a sorted array
 	ordered     bool // exploit rlist time order to cut scans short (default)
 	constrained bool // §4.2.1 constrained case: skip scans until H+1 oldest are eligible
+
+	pub struct{ retires, scans, loops, frees obs.Publisher }
 }
 
 // SetPlistMap switches reclaim's plist lookup structure from the
@@ -179,6 +183,7 @@ func (hp *HazardPointers) UpdateHint(int, uint64) {}
 //tbtso:fencefree
 func (hp *HazardPointers) Retire(tid int, h arena.Handle) {
 	t := &hp.perTh[tid]
+	t.retires++
 	t.entries = append(t.entries, retired{h: h, t: vclock.Now()})
 	t.rcount.Add(1)
 	if hp.bound == nil {
@@ -307,6 +312,31 @@ func (hp *HazardPointers) Close() {}
 func (hp *HazardPointers) Scans(tid int) (scans, loops, frees uint64) {
 	t := &hp.perTh[tid]
 	return t.scans, t.loops, t.frees
+}
+
+// Metrics publishes the scheme's aggregate counters into reg under
+// "smr.<scheme>." names: retires, reclaim scans, retire-loop
+// iterations, frees, and the still-unreclaimed node count. Call it
+// after (or periodically during) a run; the per-thread sources are the
+// same owner-private counters the hot paths already maintain, so
+// observation costs the hot paths nothing. Successive calls add only
+// the growth since the previous call, so several scheme instances can
+// accumulate into one registry.
+func (hp *HazardPointers) Metrics(reg *obs.Registry) {
+	var scans, loops, frees, retires uint64
+	for i := range hp.perTh {
+		t := &hp.perTh[i]
+		scans += t.scans
+		loops += t.loops
+		frees += t.frees
+		retires += t.retires
+	}
+	prefix := "smr." + hp.name + "."
+	hp.pub.retires.Publish(reg.Counter(prefix+"retires"), retires)
+	hp.pub.scans.Publish(reg.Counter(prefix+"scans"), scans)
+	hp.pub.loops.Publish(reg.Counter(prefix+"retire_loops"), loops)
+	hp.pub.frees.Publish(reg.Counter(prefix+"frees"), frees)
+	reg.Gauge(prefix + "unreclaimed").Set(int64(hp.Unreclaimed()))
 }
 
 // ClearSlots resets thread tid's hazard pointers (op teardown in

@@ -16,6 +16,18 @@ func (m *Machine) Run() Result {
 	m.pending = make([]*request, n)
 	m.drained = make([]bool, n)
 
+	if len(m.sinks) > 0 {
+		names := make([]string, n)
+		for i, ts := range m.threads {
+			names[i] = ts.name
+		}
+		for _, s := range m.sinks {
+			if ro, ok := s.(RunObserver); ok {
+				ro.BeginRun(names, m.cfg.Delta)
+			}
+		}
+	}
+
 	for i, ts := range m.threads {
 		t := &Thread{m: m, id: i, ts: ts}
 		go func(ts *threadState, t *Thread) {
@@ -66,7 +78,7 @@ func (m *Machine) Run() Result {
 	// All threads finished; flush remaining buffered stores.
 	for i := range m.sb {
 		for len(m.sb[i]) > 0 {
-			m.commitOldest(i)
+			m.commitOldest(i, CauseFinal)
 		}
 	}
 	return m.finish()
@@ -127,7 +139,7 @@ func (m *Machine) osTicks() {
 			continue
 		}
 		for len(m.sb[i]) > 0 {
-			m.commitOldest(i)
+			m.commitOldest(i, CauseInterrupt)
 		}
 		m.drained[i] = true // the interrupt consumed this thread's slot
 		if m.cfg.TickBoard != 0 {
@@ -160,11 +172,10 @@ func (m *Machine) forcedDrains() {
 			continue
 		}
 		if m.sb[i][0].enq+trigger <= m.clock {
-			m.commitOldest(i)
+			m.commitOldest(i, CauseDelta)
 			if !m.cfg.ParallelDrains {
 				m.drained[i] = true
 			}
-			m.stats.ForcedDrains++
 		}
 	}
 }
@@ -185,19 +196,21 @@ func (m *Machine) policyDrains() {
 		case DrainAdversarial:
 			continue
 		}
-		m.commitOldest(i)
+		m.commitOldest(i, CausePolicy)
 		if !m.cfg.ParallelDrains {
 			m.drained[i] = true
 		}
 	}
 }
 
-// commitOldest writes thread i's oldest buffered store to memory.
-func (m *Machine) commitOldest(i int) {
+// commitOldest writes thread i's oldest buffered store to memory,
+// attributing the dequeue to cause.
+func (m *Machine) commitOldest(i int, cause DrainCause) {
 	e := m.sb[i][0]
 	m.sb[i] = m.sb[i][1:]
 	m.mem[e.addr] = e.val
 	m.stats.Commits++
+	m.stats.Drains.add(cause)
 	lat := m.clock - e.enq
 	if lat > m.stats.MaxCommitLatency {
 		m.stats.MaxCommitLatency = lat
@@ -208,7 +221,9 @@ func (m *Machine) commitOldest(i int) {
 	if mon := m.cfg.Monitor; mon != nil {
 		mon.StoreCommitted(i, e.addr, e.val, e.enq, m.clock)
 	}
-	m.record(Event{Tick: m.clock, Thread: i, Kind: EvCommit, Addr: e.addr, Val: e.val})
+	if len(m.sinks) > 0 {
+		m.emit(Event{Tick: m.clock, Thread: i, Kind: EvCommit, Addr: e.addr, Val: e.val, Cause: cause, Enq: e.enq})
+	}
 }
 
 // exec attempts thread i's pending instruction; it returns true when
@@ -221,7 +236,7 @@ func (m *Machine) exec(i int, r *request) bool {
 		// is this tick's action for the thread).
 		if cap := m.cfg.BufferCap; cap > 0 && len(m.sb[i]) >= cap {
 			if m.lockFreeFor(i) {
-				m.commitOldest(i)
+				m.commitOldest(i, CauseCapacity)
 				m.drained[i] = true
 			}
 			return false
@@ -234,7 +249,9 @@ func (m *Machine) exec(i int, r *request) bool {
 		if mon := m.cfg.Monitor; mon != nil {
 			mon.StoreEnqueued(i, r.addr, r.val, m.clock)
 		}
-		m.record(Event{Tick: m.clock, Thread: i, Kind: EvStore, Addr: r.addr, Val: r.val})
+		if len(m.sinks) > 0 {
+			m.emit(Event{Tick: m.clock, Thread: i, Kind: EvStore, Addr: r.addr, Val: r.val})
+		}
 		r.reply <- response{}
 		return true
 
@@ -257,7 +274,9 @@ func (m *Machine) exec(i int, r *request) bool {
 		if mon := m.cfg.Monitor; mon != nil {
 			mon.LoadSatisfied(i, r.addr, v, fromBuf, m.clock)
 		}
-		m.record(Event{Tick: m.clock, Thread: i, Kind: EvLoad, Addr: r.addr, Val: v})
+		if len(m.sinks) > 0 {
+			m.emit(Event{Tick: m.clock, Thread: i, Kind: EvLoad, Addr: r.addr, Val: v})
+		}
 		r.reply <- response{val: v}
 		return true
 
@@ -266,13 +285,15 @@ func (m *Machine) exec(i int, r *request) bool {
 		// dequeues one entry per tick on the thread's behalf first.
 		if len(m.sb[i]) > 0 {
 			if m.lockFreeFor(i) {
-				m.commitOldest(i)
+				m.commitOldest(i, CauseFence)
 				m.drained[i] = true
 			}
 			return false
 		}
 		m.stats.Fences++
-		m.record(Event{Tick: m.clock, Thread: i, Kind: EvFence})
+		if len(m.sinks) > 0 {
+			m.emit(Event{Tick: m.clock, Thread: i, Kind: EvFence})
+		}
 		r.reply <- response{}
 		return true
 
@@ -300,7 +321,7 @@ func (m *Machine) execRMW(i int, r *request) bool {
 		return false // acquiring the lock was this tick's action
 	}
 	if len(m.sb[i]) > 0 {
-		m.commitOldest(i)
+		m.commitOldest(i, CauseRMW)
 		m.drained[i] = true
 		return false
 	}
@@ -332,7 +353,9 @@ func (m *Machine) execRMW(i int, r *request) bool {
 	if mon := m.cfg.Monitor; mon != nil {
 		mon.RMWExecuted(i, r.addr, old, newVal, m.clock)
 	}
-	m.record(Event{Tick: m.clock, Thread: i, Kind: EvRMW, Addr: r.addr, Val: newVal})
+	if len(m.sinks) > 0 {
+		m.emit(Event{Tick: m.clock, Thread: i, Kind: EvRMW, Addr: r.addr, Val: newVal})
+	}
 	r.reply <- response{val: retV, ok: ok}
 	return true
 }

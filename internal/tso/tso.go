@@ -134,6 +134,10 @@ type Config struct {
 	// Trace, if true, records an execution trace retrievable via
 	// Machine.Trace.
 	Trace bool
+	// Sinks are event sinks attached before the run starts; each
+	// machine event (store/commit/load/rmw/fence) is streamed to every
+	// sink in order. Equivalent to calling AttachSink for each.
+	Sinks []Sink
 }
 
 // DefaultMaxTicks is used when Config.MaxTicks is zero.
@@ -159,18 +163,77 @@ type Monitor interface {
 	RMWExecuted(thread int, a Addr, old, new Word, tick uint64)
 }
 
+// DrainStats breaks the run's commits down by drain cause. Every
+// commit has exactly one cause, so the fields sum to Stats.Commits
+// (asserted by TestDrainCausesSumToCommits).
+type DrainStats struct {
+	Delta     uint64 // dequeues forced by the Δ bound
+	Policy    uint64 // voluntary dequeues per the drain policy
+	Fence     uint64 // dequeues draining the buffer for a fence
+	RMW       uint64 // dequeues under the memory lock before an RMW
+	Capacity  uint64 // dequeues making room in a full TSO[S] buffer
+	Interrupt uint64 // dequeues by §6.2 timer interrupts
+	Final     uint64 // end-of-run flush after all threads finished
+}
+
+// ByCause returns the count for one cause.
+func (d DrainStats) ByCause(c DrainCause) uint64 {
+	switch c {
+	case CauseDelta:
+		return d.Delta
+	case CausePolicy:
+		return d.Policy
+	case CauseFence:
+		return d.Fence
+	case CauseRMW:
+		return d.RMW
+	case CauseCapacity:
+		return d.Capacity
+	case CauseInterrupt:
+		return d.Interrupt
+	case CauseFinal:
+		return d.Final
+	default:
+		return 0
+	}
+}
+
+// Total sums all causes; it equals Stats.Commits for a completed run.
+func (d DrainStats) Total() uint64 {
+	return d.Delta + d.Policy + d.Fence + d.RMW + d.Capacity + d.Interrupt + d.Final
+}
+
+func (d *DrainStats) add(c DrainCause) {
+	switch c {
+	case CauseDelta:
+		d.Delta++
+	case CausePolicy:
+		d.Policy++
+	case CauseFence:
+		d.Fence++
+	case CauseRMW:
+		d.RMW++
+	case CauseCapacity:
+		d.Capacity++
+	case CauseInterrupt:
+		d.Interrupt++
+	case CauseFinal:
+		d.Final++
+	}
+}
+
 // Stats aggregates counters for a completed run.
 type Stats struct {
-	Loads            uint64 // loads satisfied
-	BufferHits       uint64 // loads forwarded from the store buffer
-	Stores           uint64 // stores enqueued
-	Commits          uint64 // stores written to memory
-	RMWs             uint64 // atomic read-modify-writes executed
-	Fences           uint64 // fences completed
-	ClockReads       uint64 // global clock reads
-	ForcedDrains     uint64 // dequeues forced by the Δ bound
-	MaxBufOccupancy  int    // maximum store-buffer length observed
-	MaxCommitLatency uint64 // maximum ticks any store stayed buffered
+	Loads            uint64     // loads satisfied
+	BufferHits       uint64     // loads forwarded from the store buffer
+	Stores           uint64     // stores enqueued
+	Commits          uint64     // stores written to memory
+	RMWs             uint64     // atomic read-modify-writes executed
+	Fences           uint64     // fences completed
+	ClockReads       uint64     // global clock reads
+	Drains           DrainStats // commits broken down by drain cause
+	MaxBufOccupancy  int        // maximum store-buffer length observed
+	MaxCommitLatency uint64     // maximum ticks any store stayed buffered
 }
 
 // Result describes a completed run.
@@ -250,7 +313,8 @@ type Machine struct {
 	drained []bool // whether thread's action this tick was a dequeue
 	next    Addr   // bump allocator for AllocWords
 	stats   Stats
-	trace   []Event
+	sinks   []Sink
+	tsink   *traceSink // backs Config.Trace / Machine.Trace
 	halted  chan struct{}
 	haltErr error
 	haltMu  sync.Mutex
@@ -268,7 +332,7 @@ func New(cfg Config) *Machine {
 	if cfg.Delta > 0 && cfg.DrainMargin >= cfg.Delta {
 		cfg.DrainMargin = cfg.Delta / 2
 	}
-	return &Machine{
+	m := &Machine{
 		cfg:    cfg,
 		mem:    make(map[Addr]Word),
 		holder: -1,
@@ -276,6 +340,12 @@ func New(cfg Config) *Machine {
 		next:   1, // address 0 reserved as an obvious "null"
 		halted: make(chan struct{}),
 	}
+	m.sinks = append(m.sinks, cfg.Sinks...)
+	if cfg.Trace {
+		m.tsink = &traceSink{}
+		m.sinks = append(m.sinks, m.tsink)
+	}
+	return m
 }
 
 // Delta reports the configured bound in ticks (0 = unbounded TSO).
@@ -333,6 +403,12 @@ func (m *Machine) Spawn(name string, fn func(*Thread)) int {
 	m.threads = append(m.threads, &threadState{name: name, fn: fn, req: make(chan *request)})
 	return id
 }
+
+// NumThreads returns the number of spawned threads.
+func (m *Machine) NumThreads() int { return len(m.threads) }
+
+// ThreadName returns the name thread i was spawned with.
+func (m *Machine) ThreadName(i int) string { return m.threads[i].name }
 
 func (m *Machine) fail(err error) {
 	m.haltMu.Lock()

@@ -117,8 +117,8 @@ func TestDeltaBoundForcesVisibility(t *testing.T) {
 	if res.Stats.MaxCommitLatency > delta {
 		t.Fatalf("MaxCommitLatency %d > Δ %d", res.Stats.MaxCommitLatency, delta)
 	}
-	if res.Stats.ForcedDrains == 0 {
-		t.Fatal("expected at least one forced drain")
+	if res.Stats.Drains.Delta == 0 {
+		t.Fatal("expected at least one Δ-forced drain")
 	}
 }
 
