@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race check bench figures figures-quick demos clean
+.PHONY: all build vet lint test race check bench mc-bench figures figures-quick demos clean
 
 all: build lint test
 
@@ -29,6 +29,12 @@ check: build lint test race
 # testing.B versions of every figure + micro/ablation benches.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Model-checker explorer smoke benchmarks: one iteration of each
+# engine/program/Δ cell (sequential vs parallel vs reductions-off).
+# The committed baseline is BENCH_mc.json (tbtso-bench -figure mc -json).
+mc-bench:
+	$(GO) test -run '^$$' -bench BenchmarkExplore -benchtime=1x ./internal/mc
 
 # Regenerate every figure of the paper's evaluation (plus the §6.1
 # bail-out validation and the §4.2.1 sizing numbers).

@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -38,8 +40,39 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		jsonOut = flag.Bool("json", false, `emit all figures as one JSON document ({"figures": [...]})`)
 		metrics = flag.Bool("metrics", false, "print the harness metrics registry to stderr after the run")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile (post-GC) to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live set before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Println("figures:")
@@ -52,6 +85,7 @@ func main() {
 		fmt.Println("  8        biased-lock throughput per access pattern (§7.2)")
 		fmt.Println("  rwlock   extension: passive RW lock vs sync.RWMutex")
 		fmt.Println("  machine6 abstract-machine lookup cost model (no-protection / FFHP / HP)")
+		fmt.Println("  mc       model-checker explorer engines: states, time, speedup (BENCH_mc.json)")
 		fmt.Println("  sizing   §4.2.1 retirement-rate and R sizing numbers")
 		fmt.Println("  all      4, 5, bailout, 6, 7, 8, sizing")
 		return
@@ -118,6 +152,8 @@ func main() {
 			emit(bench.RWLock(o))
 		case "machine6":
 			emit(bench.MachineCost(o))
+		case "mc":
+			emit(bench.MCExplorer(o))
 		default:
 			fmt.Fprintf(os.Stderr, "unknown figure %q\n", name)
 			os.Exit(2)

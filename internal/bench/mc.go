@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"tbtso/internal/machalg"
+	"tbtso/internal/mc"
+	"tbtso/internal/report"
+)
+
+// mcProgram is one explorer workload: a litmus-style program and the
+// drain bounds it is explored at.
+type mcProgram struct {
+	name   string
+	p      mc.Program
+	deltas []int
+}
+
+func mcRing(n int) mc.Program {
+	var th [][]mc.Op
+	for i := 0; i < n; i++ {
+		th = append(th, []mc.Op{mc.St(i, 1), mc.St(i, 2), mc.Ld((i+1)%n, 0), mc.Ld((i+n-1)%n, 1)})
+	}
+	return mc.Program{Threads: th, Vars: n, Regs: 2}
+}
+
+func mcPrograms(quick bool) []mcProgram {
+	sb := mc.Program{
+		Threads: [][]mc.Op{
+			{mc.St(0, 1), mc.Ld(1, 0)},
+			{mc.St(1, 1), mc.Ld(0, 0)},
+		},
+		Vars: 2, Regs: 1,
+	}
+	iriw := mc.Program{
+		Threads: [][]mc.Op{
+			{mc.St(0, 1), mc.St(0, 2)},
+			{mc.St(1, 1), mc.St(1, 2)},
+			{mc.Ld(0, 0), mc.Ld(1, 1)},
+			{mc.Ld(1, 0), mc.Ld(0, 1)},
+		},
+		Vars: 2, Regs: 2,
+	}
+	ps := []mcProgram{
+		{"SB", sb, []int{0, 2, 4}},
+		{"IRIW", iriw, []int{0, 2, 4}},
+		{"FFBL(2)", machalg.MCFFBL(2, 3), []int{2}},
+	}
+	if !quick {
+		// The ≥1e5-state scale row the perf acceptance tracks: the
+		// reference explorer needs seconds here.
+		ps = append(ps, mcProgram{"Ring4", mcRing(4), []int{0, 2}})
+	}
+	return ps
+}
+
+// MCExplorer benchmarks the model checker's two engines — the
+// sequential reference and the parallel work-stealing explorer (with
+// and without reductions) — over litmus-scale and 1e5-state-scale
+// programs. The speedup column is sequential time over engine time for
+// the same (program, Δ) cell; `tbtso-bench -figure mc -json` emits the
+// table as the BENCH_mc.json perf baseline.
+func MCExplorer(o Options) *report.Table {
+	o = o.Defaults()
+	t := report.NewTable("Model checker: explorer engines (states, time, speedup)",
+		"program", "Δ", "engine", "states", "outcomes", "time", "states/s", "speedup")
+	t.AddNote("workers=%d (GOMAXPROCS); sequential = pre-parallel reference explorer", runtime.GOMAXPROCS(0))
+	t.AddNote("parallel = compact encoding + sharded visited set + POR + symmetry; nopor = reductions disabled")
+
+	run := func(name string, p mc.Program, delta int) {
+		type cell struct {
+			res mc.Result
+			el  time.Duration
+		}
+		seqStart := time.Now()
+		seqRes, seqErr := mc.ExploreSequentialBounded(p, delta, mc.DefaultMaxStates)
+		seq := cell{seqRes, time.Since(seqStart)}
+
+		engines := []struct {
+			label string
+			opts  mc.Options
+		}{
+			{"parallel", mc.Options{}},
+			{"parallel-nopor", mc.Options{NoReduction: true, NoSymmetry: true}},
+		}
+		seqLabel := "sequential"
+		if seqErr != nil {
+			seqLabel = "sequential(truncated)"
+		}
+		emitRow := func(label string, c cell, speedup string) {
+			persec := float64(c.res.States) / c.el.Seconds()
+			t.AddRow(name, delta, label, c.res.States, len(c.res.Outcomes),
+				c.el.Round(time.Microsecond).String(), fmt.Sprintf("%.0f", persec), speedup)
+		}
+		emitRow(seqLabel, seq, "1.0x")
+		for _, e := range engines {
+			start := time.Now()
+			res, err := mc.ExploreParallel(p, delta, e.opts)
+			el := time.Since(start)
+			if err != nil {
+				t.AddRow(name, delta, e.label, "truncated", "-", el.Round(time.Microsecond).String(), "-", "-")
+				continue
+			}
+			emitRow(e.label, cell{res, el}, fmt.Sprintf("%.1fx", float64(seq.el)/float64(el)))
+		}
+	}
+
+	for _, mp := range mcPrograms(o.Quick) {
+		for _, d := range mp.deltas {
+			run(mp.name, mp.p, d)
+		}
+	}
+	return t
+}

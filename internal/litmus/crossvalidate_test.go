@@ -55,6 +55,63 @@ func TestSampledOutcomesWithinExhaustiveSet(t *testing.T) {
 	}
 }
 
+// TestEnginesAgreeOnLitmusPrograms pins the two explorer engines to
+// each other on the canonical litmus programs at several bounds: the
+// parallel work-stealing engine (with all reductions) and the
+// sequential reference must produce identical outcome sets, so the
+// sampled-⊆-exhaustive checks above hold for whichever engine a test
+// reaches for.
+func TestEnginesAgreeOnLitmusPrograms(t *testing.T) {
+	progs := map[string]mc.Program{
+		"SB": {
+			Threads: [][]mc.Op{
+				{mc.St(0, 1), mc.Ld(1, 0)},
+				{mc.St(1, 1), mc.Ld(0, 0)},
+			},
+			Vars: 2, Regs: 1,
+		},
+		"MP": {
+			Threads: [][]mc.Op{
+				{mc.St(0, 1), mc.St(1, 1)},
+				{mc.Ld(1, 0), mc.Ld(0, 1)},
+			},
+			Vars: 2, Regs: 2,
+		},
+		"flag": {
+			Threads: [][]mc.Op{
+				{mc.St(0, 1), mc.Ld(1, 0)},
+				{mc.St(1, 1), mc.Fence(), mc.Wait(4), mc.Ld(0, 0)},
+			},
+			Vars: 2, Regs: 1,
+		},
+		"RMW": {
+			Threads: [][]mc.Op{
+				{mc.RMW(0, 1, 0), mc.Ld(1, 1)},
+				{mc.RMW(0, 1, 0), mc.St(1, 1)},
+			},
+			Vars: 2, Regs: 2,
+		},
+	}
+	for name, p := range progs {
+		for _, delta := range []int{0, 1, 3, 8} {
+			want := mc.ExploreSequential(p, delta)
+			got, err := mc.ExploreParallel(p, delta, mc.Options{})
+			if err != nil {
+				t.Fatalf("%s Δ=%d: %v", name, delta, err)
+			}
+			g, w := got.List(), want.List()
+			if len(g) != len(w) {
+				t.Fatalf("%s Δ=%d: engines disagree: parallel %v, sequential %v", name, delta, g, w)
+			}
+			for i := range g {
+				if g[i] != w[i] {
+					t.Fatalf("%s Δ=%d: engines disagree: parallel %v, sequential %v", name, delta, g, w)
+				}
+			}
+		}
+	}
+}
+
 // TestExhaustiveMatchesSampledForbidden checks agreement in the other
 // direction on the asymmetric flag principle: both machines must forbid
 // 0/0 under their bounds, and both must admit it unbounded.

@@ -16,9 +16,12 @@
 // such entries — the temporal bound as a scheduling constraint, exactly
 // the admissibility condition of §2. Δ = 0 means unbounded (plain TSO).
 //
-// Depth-first search with full-state memoization keeps the exploration
-// finite; final register assignments are collected as the program's
-// outcome set.
+// Two engines share the model. ExploreSequential (reference.go) is the
+// original recursive DFS with string-keyed memoization, kept as the
+// oracle. Explore/ExploreBounded/ExploreParallel (explore.go) run a
+// work-stealing frontier over a compact binary state encoding with a
+// sharded visited set and sound partial-order/symmetry reductions —
+// the same outcome sets, orders of magnitude faster. See docs/MC.md.
 package mc
 
 import (
@@ -70,13 +73,33 @@ type Program struct {
 	Regs    int
 }
 
+// shape renders the program's dimensions for errors and panics.
+func (p Program) shape(delta int) string {
+	lens := make([]string, len(p.Threads))
+	for i, t := range p.Threads {
+		lens[i] = fmt.Sprint(len(t))
+	}
+	return fmt.Sprintf("%d threads (%s ops), %d vars, %d regs, Δ=%d",
+		len(p.Threads), strings.Join(lens, "+"), p.Vars, p.Regs, delta)
+}
+
 // Result is the outcome of an exhaustive exploration.
 type Result struct {
 	// Outcomes maps canonical register-assignment strings (e.g.
 	// "T0:r0=1 T1:r0=0") to true.
 	Outcomes map[string]bool
-	// States is the number of distinct states visited.
+	// States is the number of distinct states visited. For the
+	// parallel engine this counts canonical states: reductions
+	// (terminal collapse, partial order, symmetry) make it smaller
+	// than the reference explorer's count for the same program.
 	States int
+	// Transitions is the number of successor states generated,
+	// including ones the visited set deduplicated (parallel engine
+	// only; the reference explorer leaves it zero).
+	Transitions int
+	// DedupHits is how many generated successors were already in the
+	// visited set (parallel engine only).
+	DedupHits int
 }
 
 // Has reports whether the outcome string was observed.
@@ -139,24 +162,28 @@ func (s *state) clone() *state {
 	return c
 }
 
-// key canonicalizes the state for memoization.
-func (s *state) key() string {
-	var b strings.Builder
-	for i := range s.pc {
-		fmt.Fprintf(&b, "p%d.%d.%v;", s.pc[i], s.wait[i], s.armed[i])
-		for _, e := range s.bufs[i] {
-			fmt.Fprintf(&b, "%d=%d@%d,", e.addr, e.val, e.age)
-		}
-		b.WriteByte('|')
-		for _, r := range s.regs[i] {
-			fmt.Fprintf(&b, "%d,", r)
-		}
-		b.WriteByte(';')
+// copyInto overwrites dst with src, reusing dst's slice capacity so the
+// parallel engine's per-worker scratch states allocate only while
+// buffers grow past their high-water mark.
+func (s *state) copyInto(dst *state) {
+	dst.pc = append(dst.pc[:0], s.pc...)
+	dst.wait = append(dst.wait[:0], s.wait...)
+	dst.armed = append(dst.armed[:0], s.armed...)
+	dst.mem = append(dst.mem[:0], s.mem...)
+	if cap(dst.bufs) < len(s.bufs) {
+		dst.bufs = make([][]bufEntry, len(s.bufs))
 	}
-	for _, v := range s.mem {
-		fmt.Fprintf(&b, "%d.", v)
+	dst.bufs = dst.bufs[:len(s.bufs)]
+	for i := range s.bufs {
+		dst.bufs[i] = append(dst.bufs[i][:0], s.bufs[i]...)
 	}
-	return b.String()
+	if cap(dst.regs) < len(s.regs) {
+		dst.regs = make([][]int, len(s.regs))
+	}
+	dst.regs = dst.regs[:len(s.regs)]
+	for i := range s.regs {
+		dst.regs[i] = append(dst.regs[i][:0], s.regs[i]...)
+	}
 }
 
 // ageAll advances every buffered entry's age by one, capping at cap
@@ -177,171 +204,44 @@ func (s *state) ageAll(cap int) {
 }
 
 func (s *state) outcome() string {
+	return outcomeString(s.regs)
+}
+
+// outcomeString renders per-thread register files in the package's
+// canonical "T0:r0=1 T1:r0=0" form.
+func outcomeString(regs [][]int) string {
 	var parts []string
-	for i, regs := range s.regs {
-		for r, v := range regs {
+	for i, rf := range regs {
+		for r, v := range rf {
 			parts = append(parts, fmt.Sprintf("T%d:r%d=%d", i, r, v))
 		}
 	}
 	return strings.Join(parts, " ")
 }
 
-// DefaultMaxStates bounds an exploration; litmus-sized programs use a
-// few hundred states, so hitting this indicates a program too large for
-// exhaustive checking.
+// DefaultMaxStates bounds an exploration. The parallel engine sustains
+// millions of states per second, so this budget is reachable in
+// seconds; the reference explorer needs minutes for it.
 const DefaultMaxStates = 2_000_000
 
 // Explore exhaustively enumerates all executions of p under TBTSO with
 // the given drain bound Δ in transitions (0 = plain TSO, unbounded).
-// It panics if the state space exceeds DefaultMaxStates; use
-// ExploreBounded to handle truncation explicitly.
+// It panics — naming the program shape and the states visited — if the
+// state space exceeds DefaultMaxStates; use ExploreBounded to handle
+// truncation explicitly.
 func Explore(p Program, delta int) Result {
-	res, complete := ExploreBounded(p, delta, DefaultMaxStates)
-	if !complete {
-		panic("mc: state space exceeds DefaultMaxStates; program too large for exhaustive checking")
+	res, err := ExploreParallel(p, delta, Options{})
+	if err != nil {
+		panic(err.Error())
 	}
 	return res
 }
 
-// ExploreBounded is Explore with an explicit state budget; complete
-// reports whether the enumeration finished (when false, Outcomes is a
-// subset and absence proves nothing).
-func ExploreBounded(p Program, delta, maxStates int) (res Result, complete bool) {
-	if len(p.Threads) == 0 {
-		return Result{Outcomes: map[string]bool{"": true}, States: 1}, true
-	}
-	res = Result{Outcomes: map[string]bool{}}
-	complete = true
-	seen := map[string]bool{}
-	ageCap := delta + 1
-	if delta == 0 {
-		ageCap = 0 // ages are irrelevant without a bound; keep them 0
-	}
-
-	var dfs func(s *state)
-	dfs = func(s *state) {
-		if res.States >= maxStates {
-			complete = false
-			return
-		}
-		k := s.key()
-		if seen[k] {
-			return
-		}
-		seen[k] = true
-		res.States++
-
-		// Forced dequeues: under TBTSO[Δ] an entry at age ≥ Δ must
-		// leave before anything else happens.
-		if delta > 0 {
-			forced := false
-			for i := range s.bufs {
-				if len(s.bufs[i]) > 0 && s.bufs[i][0].age >= delta {
-					forced = true
-					n := s.clone()
-					e := n.bufs[i][0]
-					n.bufs[i] = n.bufs[i][1:]
-					n.mem[e.addr] = e.val
-					n.ageAll(ageCap)
-					dfs(n)
-				}
-			}
-			if forced {
-				return // only forced transitions are admissible here
-			}
-		}
-
-		progress := false
-		for i, ops := range p.Threads {
-			// Voluntary dequeue.
-			if len(s.bufs[i]) > 0 {
-				progress = true
-				n := s.clone()
-				e := n.bufs[i][0]
-				n.bufs[i] = n.bufs[i][1:]
-				n.mem[e.addr] = e.val
-				n.ageAll(ageCap)
-				dfs(n)
-			}
-			if s.pc[i] >= len(ops) {
-				continue
-			}
-			op := ops[s.pc[i]]
-			switch op.Kind {
-			case OpStore:
-				progress = true
-				n := s.clone()
-				n.bufs[i] = append(n.bufs[i], bufEntry{addr: op.Addr, val: op.Val})
-				n.pc[i]++
-				n.ageAll(ageCap)
-				dfs(n)
-			case OpLoad:
-				progress = true
-				n := s.clone()
-				v := n.mem[op.Addr]
-				for j := len(n.bufs[i]) - 1; j >= 0; j-- {
-					if n.bufs[i][j].addr == op.Addr {
-						v = n.bufs[i][j].val
-						break
-					}
-				}
-				n.regs[i][op.Reg] = v
-				n.pc[i]++
-				n.ageAll(ageCap)
-				dfs(n)
-			case OpFence:
-				if len(s.bufs[i]) == 0 {
-					progress = true
-					n := s.clone()
-					n.pc[i]++
-					n.ageAll(ageCap)
-					dfs(n)
-				}
-			case OpRMW:
-				if len(s.bufs[i]) == 0 {
-					progress = true
-					n := s.clone()
-					old := n.mem[op.Addr]
-					n.regs[i][op.Reg] = old
-					n.mem[op.Addr] = old + op.Val
-					n.pc[i]++
-					n.ageAll(ageCap)
-					dfs(n)
-				}
-			case OpWait:
-				progress = true
-				n := s.clone()
-				switch {
-				case !n.armed[i] && op.Val > 0:
-					// Arm the wait; it elapses as transitions occur.
-					n.armed[i] = true
-					n.wait[i] = op.Val
-				case n.wait[i] == 0:
-					// Elapsed (or zero-length): advance.
-					n.armed[i] = false
-					n.pc[i]++
-				default:
-					// Still pending: burn one transition.
-				}
-				n.ageAll(ageCap)
-				dfs(n)
-			}
-		}
-		if !progress {
-			// Terminal: flush any remaining buffers already handled by
-			// the dequeue transitions above; with empty buffers and all
-			// pcs done, record the outcome.
-			done := true
-			for i := range p.Threads {
-				if s.pc[i] < len(p.Threads[i]) || len(s.bufs[i]) > 0 {
-					done = false
-				}
-			}
-			if done {
-				res.Outcomes[s.outcome()] = true
-			}
-		}
-	}
-	dfs(newState(p))
-	return res, complete
+// ExploreBounded is Explore with an explicit state budget. On
+// truncation it returns the partial Result (Outcomes is a subset and
+// absence proves nothing) together with a *TruncatedError describing
+// the budget, the states visited and the program shape; match it with
+// errors.Is(err, ErrTruncated) or errors.As.
+func ExploreBounded(p Program, delta, maxStates int) (Result, error) {
+	return ExploreParallel(p, delta, Options{MaxStates: maxStates})
 }

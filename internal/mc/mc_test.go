@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -185,15 +186,44 @@ func TestStateCountsReported(t *testing.T) {
 }
 
 func TestExploreBoundedTruncates(t *testing.T) {
-	res, complete := ExploreBounded(sb(false), 0, 5)
-	if complete {
+	res, err := ExploreBounded(sb(false), 0, 5)
+	if err == nil {
 		t.Fatal("a 5-state budget cannot complete SB")
+	}
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	var te *TruncatedError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %T, want *TruncatedError", err)
+	}
+	if te.MaxStates != 5 || te.States != 5 {
+		t.Fatalf("TruncatedError = %+v, want budget and states of 5", te)
+	}
+	if !strings.Contains(te.Shape, "2 threads") {
+		t.Fatalf("TruncatedError.Shape = %q, want the program shape", te.Shape)
 	}
 	if res.States != 5 {
 		t.Fatalf("states = %d, want exactly the budget", res.States)
 	}
-	res, complete = ExploreBounded(sb(false), 0, DefaultMaxStates)
-	if !complete || len(res.Outcomes) != 4 {
-		t.Fatalf("full budget: complete=%v outcomes=%d", complete, len(res.Outcomes))
+	res, err = ExploreBounded(sb(false), 0, DefaultMaxStates)
+	if err != nil || len(res.Outcomes) != 4 {
+		t.Fatalf("full budget: err=%v outcomes=%d", err, len(res.Outcomes))
+	}
+}
+
+func TestExplorePanicNamesShapeAndStates(t *testing.T) {
+	// A large random-ish program truncated by a tiny budget via the
+	// sequential path exercises the error text; Explore's panic carries
+	// the same *TruncatedError message.
+	_, err := ExploreSequentialBounded(sb(false), 0, 3)
+	if err == nil {
+		t.Fatal("want truncation")
+	}
+	msg := err.Error()
+	for _, frag := range []string{"truncated at 3", "2 threads", "Δ=0"} {
+		if !strings.Contains(msg, frag) {
+			t.Fatalf("error %q missing %q", msg, frag)
+		}
 	}
 }

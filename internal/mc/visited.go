@@ -1,0 +1,55 @@
+package mc
+
+import (
+	"hash/maphash"
+	"sync"
+)
+
+// visited is the sharded de-duplication set at the heart of the
+// parallel engine: a power-of-two array of string-keyed hash sets, each
+// behind its own mutex, indexed by the top bits of a maphash of the
+// encoded state. Workers touch one shard per lookup, so with 64 shards
+// contention is negligible even at full-core fan-out, and the interned
+// key string the insert allocates is shared with the frontier (the
+// frontier stores the same string, not a second copy).
+type visited struct {
+	seed   maphash.Seed
+	shards [visitedShards]visitedShard
+}
+
+const visitedShards = 64 // power of two
+
+type visitedShard struct {
+	mu sync.Mutex
+	m  map[string]struct{}
+	// Pad each shard to its own cache line so neighbouring locks don't
+	// false-share.
+	_ [40]byte
+}
+
+func newVisited() *visited {
+	v := &visited{seed: maphash.MakeSeed()}
+	for i := range v.shards {
+		v.shards[i].m = make(map[string]struct{})
+	}
+	return v
+}
+
+// insert adds the encoded state if absent. It returns the interned key
+// (the map's own string, valid for the caller to retain) and whether
+// the state was novel. The string(b) conversion in the lookup path is
+// allocation-free (Go's map-index-by-converted-bytes fast path); only
+// a novel insert pays one allocation for the interned copy.
+func (v *visited) insert(b []byte) (key string, novel bool) {
+	h := maphash.Bytes(v.seed, b)
+	sh := &v.shards[h>>(64-6)&(visitedShards-1)]
+	sh.mu.Lock()
+	if _, ok := sh.m[string(b)]; ok {
+		sh.mu.Unlock()
+		return "", false
+	}
+	key = string(b)
+	sh.m[key] = struct{}{}
+	sh.mu.Unlock()
+	return key, true
+}
