@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race check bench mc-bench figures figures-quick demos clean
+.PHONY: all build vet lint test race check bench mc-bench fuzz-smoke figures figures-quick demos clean
 
 all: build lint test
 
@@ -35,6 +35,16 @@ bench:
 # The committed baseline is BENCH_mc.json (tbtso-bench -figure mc -json).
 mc-bench:
 	$(GO) test -run '^$$' -bench BenchmarkExplore -benchtime=1x ./internal/mc
+
+# Differential-fuzzing smoke: short seeded runs of the native fuzz
+# targets (machine-vs-checker containment, state-encoding round trip)
+# plus the planted negative controls end to end (docs/FUZZ.md). A real
+# campaign: go test -fuzz=FuzzMachineVsChecker ./internal/fuzz, or
+# go run ./cmd/tbtso-fuzz -n 10000 -deltas 0,1,3,inf.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzMachineVsChecker -fuzztime 10s ./internal/fuzz
+	$(GO) test -run '^$$' -fuzz FuzzEncodeRoundTrip -fuzztime 10s ./internal/mc
+	$(GO) run ./cmd/tbtso-fuzz -plant
 
 # Regenerate every figure of the paper's evaluation (plus the §6.1
 # bail-out validation and the §4.2.1 sizing numbers).

@@ -37,6 +37,7 @@ func main() {
 		threads = flag.Int("threads", 0, "worker threads (default GOMAXPROCS)")
 		buckets = flag.Int("buckets", 0, "hash table buckets (default 1024, quick 128)")
 		runs    = flag.Int("runs", 0, "repetitions per cell, median reported (default 3, quick 1)")
+		mcMax   = flag.Int("mcmaxstates", 0, "-figure mc: state budget per exploration (default mc.DefaultMaxStates); low budgets render (truncated) rows")
 		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		jsonOut = flag.Bool("json", false, `emit all figures as one JSON document ({"figures": [...]})`)
 		metrics = flag.Bool("metrics", false, "print the harness metrics registry to stderr after the run")
@@ -92,11 +93,12 @@ func main() {
 	}
 
 	o := bench.Options{
-		Duration: *dur,
-		Threads:  *threads,
-		Buckets:  *buckets,
-		Runs:     *runs,
-		Quick:    *quick,
+		Duration:    *dur,
+		Threads:     *threads,
+		Buckets:     *buckets,
+		Runs:        *runs,
+		Quick:       *quick,
+		MCMaxStates: *mcMax,
 	}
 	var reg *obs.Registry
 	if *metrics {

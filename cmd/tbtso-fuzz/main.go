@@ -1,0 +1,321 @@
+// Command tbtso-fuzz is the differential fuzzer: it generates random
+// litmus-scale programs over the model checker's full op vocabulary,
+// runs each on BOTH implementations of TBTSO[Δ] — the clocked abstract
+// machine (sampled schedules under several drain policies) and the
+// exhaustive checker (both engines) — and reports any behaviour the two
+// disagree on. Failures are delta-debugged to a minimal program and
+// emitted as replayable artifacts: JSON (seed/Δ/policy/program), Go
+// litmus-test source, and a Perfetto trace of the failing machine run.
+//
+//	tbtso-fuzz -n 10000 -deltas 0,1,3,inf        # campaign
+//	tbtso-fuzz -time 30s -json                   # budgeted, JSON summary
+//	tbtso-fuzz -plant -out artifacts/            # planted negative controls
+//	tbtso-fuzz -replay artifacts/ffhp-tso.json   # re-check an artifact
+//
+// Exit status: 0 clean, 1 mismatches found (or a planted control NOT
+// found — the detector lost a violation class), 2 usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"tbtso/internal/fuzz"
+	"tbtso/internal/obs"
+	"tbtso/internal/tso"
+)
+
+func main() {
+	var (
+		n          = flag.Int("n", 1000, "program budget: generated programs to check")
+		seed       = flag.Int64("seed", 1, "first generator seed; program i uses seed+i")
+		deltasStr  = flag.String("deltas", "0,1,3", `Δ sweep in checker transitions; "inf" (unbounded TSO) is an alias for 0`)
+		policyStr  = flag.String("policies", "eager,random,adversarial", "machine drain policies sampled per cell")
+		machSeeds  = flag.Int("machseeds", 3, "machine schedules per (Δ, policy) cell")
+		maxStates  = flag.Int("maxstates", 200_000, "state budget per checker exploration; exceeding it truncates (skips) the check")
+		crossCheck = flag.Int("crosscheck", 20_000, "run the sequential reference engine when the parallel exploration is at most this many states (-1 disables)")
+		timeBudget = flag.Duration("time", 0, "wall-clock budget; stops early even if -n remains (0 = none)")
+		shrinkMax  = flag.Int("shrink", 4000, "max shrink attempts (failure-predicate runs) per mismatch")
+		outDir     = flag.String("out", "", "write artifacts (.json, .go.txt, .trace.json) to this directory")
+		plant      = flag.Bool("plant", false, "run the planted negative controls instead of a campaign")
+		replay     = flag.String("replay", "", "replay one artifact JSON file and exit")
+		jsonOut    = flag.Bool("json", false, "emit the summary as JSON on stdout")
+		metrics    = flag.Bool("metrics", false, "print the obs metrics registry to stderr")
+		verbose    = flag.Bool("v", false, "log each mismatch and shrink as it happens")
+	)
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+	cfg := fuzz.Config{
+		MachSeeds:        *machSeeds,
+		MaxStates:        *maxStates,
+		CrossCheckStates: *crossCheck,
+		Metrics:          reg,
+	}
+	var err error
+	if cfg.Deltas, err = parseDeltas(*deltasStr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if cfg.Policies, err = parsePolicies(*policyStr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	switch {
+	case *replay != "":
+		os.Exit(replayArtifact(*replay, *jsonOut))
+	case *plant:
+		os.Exit(runPlanted(cfg, reg, *outDir, *shrinkMax, *jsonOut, *metrics))
+	default:
+		os.Exit(runCampaign(cfg, reg, *n, *seed, *timeBudget, *shrinkMax, *outDir, *jsonOut, *metrics, *verbose))
+	}
+}
+
+// parseDeltas accepts "0,1,3,inf": "inf"/"∞" is the unbounded sweep
+// point, which in both models is Δ=0; duplicates are collapsed so the
+// alias does not double the work.
+func parseDeltas(s string) ([]int, error) {
+	var out []int
+	seen := map[int]bool{}
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		d := 0
+		if f != "inf" && f != "∞" {
+			var err error
+			if d, err = strconv.Atoi(f); err != nil || d < 0 {
+				return nil, fmt.Errorf("tbtso-fuzz: bad Δ %q", f)
+			}
+		}
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("tbtso-fuzz: empty Δ sweep")
+	}
+	return out, nil
+}
+
+func parsePolicies(s string) ([]tso.DrainPolicy, error) {
+	var out []tso.DrainPolicy
+	for _, f := range strings.Split(s, ",") {
+		p, err := fuzz.ParsePolicy(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+type summary struct {
+	Programs    int      `json:"programs"`
+	Runs        int      `json:"runs"`
+	Truncated   int      `json:"truncated"`
+	Mismatches  int      `json:"mismatches"`
+	ShrinkSteps int      `json:"shrink_steps"`
+	Artifacts   []string `json:"artifacts,omitempty"`
+	FirstSeed   int64    `json:"first_seed"`
+	LastSeed    int64    `json:"last_seed"`
+	ElapsedMS   int64    `json:"elapsed_ms"`
+}
+
+func runCampaign(cfg fuzz.Config, reg *obs.Registry, n int, startSeed int64, budget time.Duration, shrinkMax int, outDir string, jsonOut, metrics, verbose bool) int {
+	start := time.Now()
+	sum := summary{FirstSeed: startSeed, LastSeed: startSeed - 1}
+	for i := 0; i < n; i++ {
+		if budget > 0 && time.Since(start) > budget {
+			break
+		}
+		s := startSeed + int64(i)
+		sum.LastSeed = s
+		rep := fuzz.CheckProgram(cfg, fuzz.Gen(cfg.Gen, s), s)
+		sum.Programs += rep.Programs
+		sum.Runs += rep.Runs
+		sum.Truncated += rep.Truncated
+		sum.Mismatches += len(rep.Mismatches)
+		for _, m := range rep.Mismatches {
+			if verbose {
+				fmt.Fprintf(os.Stderr, "MISMATCH %s\n", m)
+			}
+			a := fuzz.ShrinkMismatch(cfg, m, shrinkMax)
+			sum.ShrinkSteps += a.ShrinkSteps
+			reg.Counter("fuzz.shrink_steps").Add(uint64(a.ShrinkSteps))
+			name := fmt.Sprintf("mismatch-seed%d-d%d-%s", m.Seed, m.Delta, m.Kind)
+			path, err := writeArtifact(outDir, name, a)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			} else if path != "" {
+				sum.Artifacts = append(sum.Artifacts, path)
+			}
+			if verbose || outDir == "" {
+				fmt.Fprintln(os.Stderr, a.GoSource("Shrunk"))
+			}
+		}
+	}
+	sum.ElapsedMS = time.Since(start).Milliseconds()
+	emitSummary(sum, jsonOut)
+	if metrics {
+		reg.WriteText(os.Stderr)
+	}
+	if sum.Mismatches > 0 {
+		return 1
+	}
+	return 0
+}
+
+type plantedResult struct {
+	Name        string `json:"name"`
+	Found       bool   `json:"found"`
+	Ops         int    `json:"ops"`
+	Threads     int    `json:"threads"`
+	Delta       int    `json:"delta"`
+	Outcome     string `json:"outcome"`
+	Policy      string `json:"policy,omitempty"`
+	ShrinkSteps int    `json:"shrink_steps"`
+	Artifact    string `json:"artifact,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+func runPlanted(cfg fuzz.Config, reg *obs.Registry, outDir string, shrinkMax int, jsonOut, metrics bool) int {
+	failed := false
+	var results []plantedResult
+	for _, pl := range fuzz.PlantedControls() {
+		r := plantedResult{Name: pl.Name, Delta: pl.Delta}
+		a, err := fuzz.CheckPlanted(pl, cfg.MaxStates, shrinkMax)
+		if err != nil {
+			r.Error = err.Error()
+			failed = true
+			results = append(results, r)
+			continue
+		}
+		p, _ := fuzz.DecodeProgram(a.Program)
+		for _, th := range p.Threads {
+			r.Ops += len(th)
+		}
+		r.Found = true
+		r.Threads = len(p.Threads)
+		r.Delta = a.Delta
+		r.Outcome = a.Outcome
+		r.Policy = a.Policy
+		r.ShrinkSteps = a.ShrinkSteps
+		reg.Counter("fuzz.shrink_steps").Add(uint64(a.ShrinkSteps))
+		if path, err := writeArtifact(outDir, pl.Name, a); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		} else {
+			r.Artifact = path
+		}
+		results = append(results, r)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{"planted": results})
+	} else {
+		for _, r := range results {
+			if r.Error != "" {
+				fmt.Printf("planted %-10s FAILED: %s\n", r.Name, r.Error)
+				continue
+			}
+			fmt.Printf("planted %-10s found and shrunk to %d ops / %d threads at Δ=%d (witness %s, %d shrink steps)\n",
+				r.Name, r.Ops, r.Threads, r.Delta, r.Outcome, r.ShrinkSteps)
+		}
+	}
+	if metrics {
+		reg.WriteText(os.Stderr)
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+func replayArtifact(path string, jsonOut bool) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer f.Close()
+	a, err := fuzz.ReadArtifact(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	repro, err := a.Replay()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if jsonOut {
+		json.NewEncoder(os.Stdout).Encode(map[string]any{"kind": a.Kind, "reproduced": repro})
+	} else {
+		fmt.Printf("%s: reproduced=%v\n", a.Kind, repro)
+	}
+	if repro {
+		return 1 // the bug is still there; mirror the campaign exit code
+	}
+	return 0
+}
+
+// writeArtifact persists the three artifact forms; returns "" (no
+// error) when no output directory was requested.
+func writeArtifact(dir, name string, a fuzz.Artifact) (string, error) {
+	if dir == "" {
+		return "", nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := a.WriteJSON(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".go.txt"), []byte(a.GoSource("Shrunk")), 0o644); err != nil {
+		return "", err
+	}
+	if a.Policy != "" {
+		tf, err := os.Create(filepath.Join(dir, name+".trace.json"))
+		if err != nil {
+			return "", err
+		}
+		if err := a.PerfettoTrace(tf); err != nil {
+			tf.Close()
+			return "", fmt.Errorf("%s: perfetto trace: %w", name, err)
+		}
+		if err := tf.Close(); err != nil {
+			return "", err
+		}
+	}
+	return path, nil
+}
+
+func emitSummary(sum summary, jsonOut bool) {
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(sum)
+		return
+	}
+	fmt.Printf("programs %d (seeds %d..%d), machine runs %d, truncated explorations %d, mismatches %d, shrink steps %d, %dms\n",
+		sum.Programs, sum.FirstSeed, sum.LastSeed, sum.Runs, sum.Truncated, sum.Mismatches, sum.ShrinkSteps, sum.ElapsedMS)
+	for _, p := range sum.Artifacts {
+		fmt.Println("artifact:", p)
+	}
+}

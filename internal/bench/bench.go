@@ -37,6 +37,12 @@ type Options struct {
 	TickPeriod time.Duration
 	// Quick selects CI-scale sizes.
 	Quick bool
+	// MCMaxStates bounds each model-checker exploration in the
+	// `-figure mc` table (0 = mc.DefaultMaxStates). Deliberately low
+	// budgets truncate rows instead of aborting the table: the typed
+	// *mc.TruncatedError carries the partial result, which is rendered
+	// with a "(truncated)" marker.
+	MCMaxStates int
 	// Metrics, if non-nil, receives each run's counters and
 	// distributions: the quiescence model's histograms, SMR scheme
 	// counters ("smr.<name>.*") and biased-lock counters

@@ -12,6 +12,7 @@ import (
 	"tbtso/internal/obs"
 	"tbtso/internal/report"
 	"tbtso/internal/stats"
+	"tbtso/internal/vclock"
 	"tbtso/internal/workload"
 )
 
@@ -39,14 +40,20 @@ func runLockPattern(mk func() lock.BiasedLock, pat workload.LockPattern, dur tim
 	go func() { // owner
 		defer wg.Done()
 		ia := workload.NewInterarrival(pat.OwnerMean, 1)
-		lastStall := time.Now()
+		// Stall cadence runs on vclock ticks (the clock SpinWait spins
+		// on) with the pattern's configurable threshold, not on
+		// time.Now(): a wall-clock gap check re-measures scheduler
+		// noise on a loaded CI box, skewing how many stalls a cell
+		// injects from run to run.
+		stallGap := pat.StallGapTicks()
+		lastStall := vclock.Now()
 		for !stop.Load() {
 			workload.SpinWait(ia.Next())
-			if pat.OwnerStall > 0 && time.Since(lastStall) > 2*time.Millisecond {
+			if pat.OwnerStall > 0 && vclock.Now()-lastStall > stallGap {
 				// The owner gets "scheduled out": a long stall with no
 				// cooperative points, between critical sections.
 				time.Sleep(pat.OwnerStall)
-				lastStall = time.Now()
+				lastStall = vclock.Now()
 			}
 			lk.OwnerLock()
 			lk.OwnerUnlock()

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"time"
@@ -64,46 +65,69 @@ func mcPrograms(quick bool) []mcProgram {
 // table as the BENCH_mc.json perf baseline.
 func MCExplorer(o Options) *report.Table {
 	o = o.Defaults()
+	maxStates := o.MCMaxStates
+	if maxStates <= 0 {
+		maxStates = mc.DefaultMaxStates
+	}
 	t := report.NewTable("Model checker: explorer engines (states, time, speedup)",
 		"program", "Δ", "engine", "states", "outcomes", "time", "states/s", "speedup")
 	t.AddNote("workers=%d (GOMAXPROCS); sequential = pre-parallel reference explorer", runtime.GOMAXPROCS(0))
 	t.AddNote("parallel = compact encoding + sharded visited set + POR + symmetry; nopor = reductions disabled")
+	if maxStates != mc.DefaultMaxStates {
+		t.AddNote("state budget %d per exploration; (truncated) rows show the partial result — outcome absence proves nothing there", maxStates)
+	}
 
 	run := func(name string, p mc.Program, delta int) {
 		type cell struct {
 			res mc.Result
 			el  time.Duration
 		}
+		// A deliberately low MaxStates must not abort the table: every
+		// engine returns its partial Result alongside the typed
+		// *mc.TruncatedError, so a truncated cell still renders its
+		// states/outcomes/time — only marked, and with no speedup claim
+		// (a truncated exploration did less work than a complete one).
 		seqStart := time.Now()
-		seqRes, seqErr := mc.ExploreSequentialBounded(p, delta, mc.DefaultMaxStates)
+		seqRes, seqErr := mc.ExploreSequentialBounded(p, delta, maxStates)
 		seq := cell{seqRes, time.Since(seqStart)}
 
 		engines := []struct {
 			label string
 			opts  mc.Options
 		}{
-			{"parallel", mc.Options{}},
-			{"parallel-nopor", mc.Options{NoReduction: true, NoSymmetry: true}},
+			{"parallel", mc.Options{MaxStates: maxStates}},
+			{"parallel-nopor", mc.Options{MaxStates: maxStates, NoReduction: true, NoSymmetry: true}},
 		}
-		seqLabel := "sequential"
-		if seqErr != nil {
-			seqLabel = "sequential(truncated)"
-		}
-		emitRow := func(label string, c cell, speedup string) {
+		emitRow := func(label string, c cell, truncated bool, speedup string) {
+			if truncated {
+				label += "(truncated)"
+				speedup = "-"
+			}
 			persec := float64(c.res.States) / c.el.Seconds()
 			t.AddRow(name, delta, label, c.res.States, len(c.res.Outcomes),
 				c.el.Round(time.Microsecond).String(), fmt.Sprintf("%.0f", persec), speedup)
 		}
-		emitRow(seqLabel, seq, "1.0x")
+		emitRow("sequential", seq, seqErr != nil, "1.0x")
 		for _, e := range engines {
 			start := time.Now()
 			res, err := mc.ExploreParallel(p, delta, e.opts)
 			el := time.Since(start)
 			if err != nil {
-				t.AddRow(name, delta, e.label, "truncated", "-", el.Round(time.Microsecond).String(), "-", "-")
+				// Recover the partial result from the typed error; the
+				// row renders what was explored instead of a dash row.
+				var te *mc.TruncatedError
+				if !errors.As(err, &te) {
+					t.AddRow(name, delta, e.label, "error", "-", el.Round(time.Microsecond).String(), "-", "-")
+					continue
+				}
+				emitRow(e.label, cell{te.Partial, el}, true, "-")
 				continue
 			}
-			emitRow(e.label, cell{res, el}, fmt.Sprintf("%.1fx", float64(seq.el)/float64(el)))
+			speedup := "-" // no claim against a truncated (partial-work) baseline
+			if seqErr == nil {
+				speedup = fmt.Sprintf("%.1fx", float64(seq.el)/float64(el))
+			}
+			emitRow(e.label, cell{res, el}, false, speedup)
 		}
 	}
 

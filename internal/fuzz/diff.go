@@ -1,0 +1,270 @@
+package fuzz
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"tbtso/internal/mc"
+	"tbtso/internal/obs"
+	"tbtso/internal/tso"
+)
+
+// Config parameterizes the differential driver. Zero fields select
+// defaults sized so one program's full sweep finishes in milliseconds.
+type Config struct {
+	// Gen sizes the program generator.
+	Gen GenConfig
+	// Deltas is the Δ sweep, in checker transitions; 0 means unbounded
+	// (plain TSO). Default {0, 1, 3}.
+	Deltas []int
+	// Policies are the machine drain policies each program is sampled
+	// under. Default: eager, random, adversarial.
+	Policies []tso.DrainPolicy
+	// MachSeeds is how many scheduler seeds the machine is run with per
+	// (Δ, policy) cell (default 3).
+	MachSeeds int
+	// MaxStates bounds each checker exploration (default 200_000).
+	// Explorations that hit it are counted as truncated and skipped —
+	// outcome absence in a partial set proves nothing.
+	MaxStates int
+	// CrossCheckStates: when the parallel engine's exploration visited
+	// at most this many states, the sequential reference explorer is
+	// run on the same (program, Δ) and the outcome sets compared
+	// (default 20_000; negative disables).
+	CrossCheckStates int
+	// Metrics, if non-nil, receives fuzz.* counters: programs, runs,
+	// explorations, truncated, mismatches.
+	Metrics *obs.Registry
+}
+
+func (c Config) orDefault() Config {
+	c.Gen = c.Gen.orDefault()
+	if c.Deltas == nil {
+		c.Deltas = []int{0, 1, 3}
+	}
+	if c.Policies == nil {
+		c.Policies = []tso.DrainPolicy{tso.DrainEager, tso.DrainRandom, tso.DrainAdversarial}
+	}
+	if c.MachSeeds == 0 {
+		c.MachSeeds = 3
+	}
+	if c.MaxStates == 0 {
+		c.MaxStates = 200_000
+	}
+	if c.CrossCheckStates == 0 {
+		c.CrossCheckStates = 20_000
+	}
+	return c
+}
+
+func (c Config) count(name string, n uint64) {
+	if c.Metrics != nil {
+		c.Metrics.Counter(name).Add(n)
+	}
+}
+
+// Mismatch kinds.
+const (
+	// KindSampledOutcome: the machine sampled an outcome the checker's
+	// exhaustive set at the covering Δ does not admit — the core
+	// containment violation.
+	KindSampledOutcome = "sampled-outcome"
+	// KindEngineDivergence: the parallel engine and the sequential
+	// reference disagree on the outcome set at the same (program, Δ).
+	KindEngineDivergence = "engine-divergence"
+	// KindMachineError: the machine faulted running a generated program
+	// (Δ violation, deadlock, tick budget) — always a harness or model
+	// bug, generated programs cannot legitimately fault.
+	KindMachineError = "machine-error"
+)
+
+// Mismatch is one differential failure, carrying everything needed to
+// replay it: the program, the sweep Δ, and (for sampled-outcome and
+// machine-error kinds) the exact machine run.
+type Mismatch struct {
+	Kind    string
+	Seed    int64 // generator seed (0 if the program wasn't generated)
+	Delta   int   // sweep Δ, checker transitions
+	Cover   int   // covering Δ the containment was checked at
+	Policy  tso.DrainPolicy
+	MachSeed int64
+	Outcome string // offending outcome (sampled-outcome kind)
+	Detail  string
+	Program mc.Program
+}
+
+func (m Mismatch) String() string {
+	s := fmt.Sprintf("%s: seed=%d Δ=%d policy=%v machSeed=%d", m.Kind, m.Seed, m.Delta, m.Policy, m.MachSeed)
+	if m.Outcome != "" {
+		s += " outcome=" + m.Outcome
+	}
+	if m.Detail != "" {
+		s += " (" + m.Detail + ")"
+	}
+	return s
+}
+
+// Report accumulates driver statistics across programs.
+type Report struct {
+	Programs   int
+	Runs       int // machine executions sampled
+	Truncated  int // explorations that hit MaxStates and were skipped
+	Mismatches []Mismatch
+}
+
+// Add folds r2 into r.
+func (r *Report) Add(r2 Report) {
+	r.Programs += r2.Programs
+	r.Runs += r2.Runs
+	r.Truncated += r2.Truncated
+	r.Mismatches = append(r.Mismatches, r2.Mismatches...)
+}
+
+// explore runs the parallel engine, tolerating truncation: a truncated
+// exploration returns ok=false and the check that needed it is skipped.
+func (c Config) explore(p mc.Program, delta int) (mc.Result, bool, error) {
+	c.count("fuzz.explorations", 1)
+	res, err := mc.ExploreParallel(p, delta, mc.Options{MaxStates: c.MaxStates})
+	if err != nil {
+		var te *mc.TruncatedError
+		if errors.As(err, &te) {
+			c.count("fuzz.truncated", 1)
+			return mc.Result{}, false, nil
+		}
+		return mc.Result{}, false, err
+	}
+	return res, true, nil
+}
+
+// diffOutcomes renders the symmetric difference of two outcome sets,
+// capped for readability.
+func diffOutcomes(a, b map[string]bool) string {
+	var missing, extra []string
+	for o := range a {
+		if !b[o] {
+			missing = append(missing, o)
+		}
+	}
+	for o := range b {
+		if !a[o] {
+			extra = append(extra, o)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	cap3 := func(xs []string) []string {
+		if len(xs) > 3 {
+			return append(xs[:3:3], "...")
+		}
+		return xs
+	}
+	return fmt.Sprintf("parallel-only=%v sequential-only=%v", cap3(missing), cap3(extra))
+}
+
+// CheckProgram runs the full differential sweep on one program: for
+// every Δ in the sweep, (1) the two checker engines are compared on the
+// exact Δ, and (2) every (policy × machine seed) sample of the clocked
+// machine at Δ ticks is asserted to be admitted by the checker's
+// exhaustive outcome set at the covering Δ. seed tags mismatches for
+// replay; pass the generator seed (or 0 for hand-built programs).
+func CheckProgram(cfg Config, p mc.Program, seed int64) Report {
+	cfg = cfg.orDefault()
+	rep := Report{Programs: 1}
+	cfg.count("fuzz.programs", 1)
+
+	for _, delta := range cfg.Deltas {
+		raw, ok, err := cfg.explore(p, delta)
+		if err != nil {
+			rep.Mismatches = append(rep.Mismatches, Mismatch{
+				Kind: KindEngineDivergence, Seed: seed, Delta: delta,
+				Detail: "parallel engine error: " + err.Error(), Program: p,
+			})
+			continue
+		}
+		if !ok {
+			rep.Truncated++
+			continue
+		}
+
+		// Engine cross-check at the RAW sweep Δ, so small Δs are pinned
+		// engine-to-engine even though containment runs at the cover.
+		if cfg.CrossCheckStates >= 0 && raw.States <= cfg.CrossCheckStates {
+			seqRes, seqErr := mc.ExploreSequentialBounded(p, delta, cfg.MaxStates)
+			if seqErr == nil && !sameOutcomes(raw.Outcomes, seqRes.Outcomes) {
+				rep.Mismatches = append(rep.Mismatches, Mismatch{
+					Kind: KindEngineDivergence, Seed: seed, Delta: delta,
+					Detail: diffOutcomes(raw.Outcomes, seqRes.Outcomes), Program: p,
+				})
+			}
+		}
+
+		// Containment: machine samples at Δ ticks vs the exhaustive set
+		// at the covering Δ (see CoverDelta for why this is sound).
+		machDelta := MachineDelta(delta)
+		cover := CoverDelta(p, machDelta)
+		admitted := raw
+		if cover != delta {
+			var cok bool
+			admitted, cok, err = cfg.explore(p, cover)
+			if err != nil {
+				rep.Mismatches = append(rep.Mismatches, Mismatch{
+					Kind: KindEngineDivergence, Seed: seed, Delta: delta, Cover: cover,
+					Detail: "cover exploration error: " + err.Error(), Program: p,
+				})
+				continue
+			}
+			if !cok {
+				rep.Truncated++
+				continue
+			}
+		}
+		for pi, pol := range cfg.Policies {
+			for i := 0; i < cfg.MachSeeds; i++ {
+				machSeed := seed*1000003 + int64(pi)*101 + int64(i)
+				rep.Runs++
+				cfg.count("fuzz.runs", 1)
+				outcome, err := RunOnMachine(p, MachineRun{Delta: machDelta, Policy: pol, Seed: machSeed})
+				if err != nil {
+					rep.Mismatches = append(rep.Mismatches, Mismatch{
+						Kind: KindMachineError, Seed: seed, Delta: delta, Cover: cover,
+						Policy: pol, MachSeed: machSeed, Detail: err.Error(), Program: p,
+					})
+					continue
+				}
+				if !admitted.Has(outcome) {
+					rep.Mismatches = append(rep.Mismatches, Mismatch{
+						Kind: KindSampledOutcome, Seed: seed, Delta: delta, Cover: cover,
+						Policy: pol, MachSeed: machSeed, Outcome: outcome, Program: p,
+					})
+				}
+			}
+		}
+	}
+	cfg.count("fuzz.mismatches", uint64(len(rep.Mismatches)))
+	return rep
+}
+
+// Run generates and checks n programs starting at startSeed, returning
+// the aggregate report. Deterministic per (cfg, n, startSeed).
+func Run(cfg Config, n int, startSeed int64) Report {
+	cfg = cfg.orDefault()
+	var rep Report
+	for i := 0; i < n; i++ {
+		seed := startSeed + int64(i)
+		rep.Add(CheckProgram(cfg, Gen(cfg.Gen, seed), seed))
+	}
+	return rep
+}
+
+func sameOutcomes(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for o := range a {
+		if !b[o] {
+			return false
+		}
+	}
+	return true
+}

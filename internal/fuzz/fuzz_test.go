@@ -1,0 +1,37 @@
+package fuzz
+
+import (
+	"testing"
+)
+
+// FuzzMachineVsChecker is the native-fuzzing entry to the differential
+// driver: go's fuzzer mutates (seed, Δ-selector) pairs, each of which
+// names a deterministic generated program and full sweep cell. Run via
+// `make fuzz-smoke` (short budget) or
+// `go test -fuzz=FuzzMachineVsChecker ./internal/fuzz` for a real
+// campaign. Every crasher go keeps in testdata/fuzz is replayable by
+// construction — the input IS the generator seed.
+func FuzzMachineVsChecker(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed, uint8(seed))
+	}
+	f.Add(int64(9137), uint8(0))
+	f.Add(int64(-4), uint8(3))
+	cfgFor := func(deltaSel uint8) Config {
+		return Config{
+			Gen:              GenConfig{MaxThreads: 3, MaxOps: 4, MaxTotalOps: 8},
+			Deltas:           []int{int(deltaSel % 4)},
+			MachSeeds:        2,
+			MaxStates:        60_000,
+			CrossCheckStates: 3_000,
+		}
+	}
+	f.Fuzz(func(t *testing.T, seed int64, deltaSel uint8) {
+		cfg := cfgFor(deltaSel)
+		p := Gen(cfg.Gen, seed)
+		rep := CheckProgram(cfg, p, seed)
+		for _, m := range rep.Mismatches {
+			t.Errorf("%s\nprogram: %+v", m, m.Program)
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"tbtso/internal/mc"
+	"tbtso/internal/tso"
+)
+
+// MachineRun names one sampled execution of a program on the clocked
+// abstract machine: the machine's Δ in ticks, the drain policy, and the
+// scheduler seed. Together with the program it is the full replay
+// recipe for a sampled outcome.
+type MachineRun struct {
+	Delta  uint64
+	Policy tso.DrainPolicy
+	Seed   int64
+}
+
+// MachineDelta maps a fuzz sweep Δ (checker transitions) to the
+// machine's Δ (ticks): the identity, with 0 meaning unbounded on both
+// sides. The two units differ — CoverDelta is what makes the
+// containment check sound despite that.
+func MachineDelta(delta int) uint64 { return uint64(delta) }
+
+// CoverDelta returns a checker Δ (in transitions) that provably admits
+// every behaviour of the clocked machine running p at machDelta ticks.
+//
+// The argument: the machine executes at most one action per thread per
+// tick (ParallelDrains off), and every machine action that changes
+// model-visible state — store, load, fence completion, RMW, dequeue,
+// or a wait-loop clock read — maps to at most one checker transition.
+// A store enqueued at tick t is committed by tick t+machDelta (the
+// machine's commit-time check enforces this), so at most
+// (machDelta+1)·threads transitions separate its enqueue from its
+// commit; the checker's ageing starts the entry at age 1, so a bound of
+// (machDelta+1)·threads + 2 slack can never force a dequeue the
+// machine performed later. Larger checker Δ only ADDS admissible
+// behaviours, so the machine's sample set is contained in the cover
+// exploration's outcome set whenever both models are correct.
+// machDelta = 0 (unbounded TSO) covers exactly at checker Δ = 0.
+func CoverDelta(p mc.Program, machDelta uint64) int {
+	if machDelta == 0 {
+		return 0
+	}
+	return int(machDelta+1)*len(p.Threads) + 2
+}
+
+// RunOnMachine executes p once on the clocked abstract machine under
+// run's configuration and returns the outcome in the checker's
+// canonical "T0:r0=1 T1:r0=0" form. Optional sinks stream the machine's
+// events (e.g. an obs.Perfetto exporter building a failure trace).
+//
+// Op mapping: St → Thread.Store, Ld → Thread.Load, Fence →
+// Thread.Fence, RMW(a,v,r) → Thread.FetchAdd (old value into r, same
+// add-and-return-old semantics as the checker), Wait(n) → an n-tick
+// clock-polling wait (the §3 "wait Δ time units" of the flag
+// principle, in machine ticks).
+func RunOnMachine(p mc.Program, run MachineRun, sinks ...tso.Sink) (string, error) {
+	cfg := tso.Config{
+		Delta:  run.Delta,
+		Policy: run.Policy,
+		Seed:   run.Seed,
+		Sinks:  sinks,
+	}
+	if run.Delta > 0 {
+		// Force dequeues as late as the bound allows (margin 1) so
+		// small Δ actually exercises buffering; the default margin of
+		// 16 would make Δ ≤ 16 behave like an eager write-through
+		// machine. Forced drains ignore the memory lock, so a margin
+		// of 1 cannot overrun the bound.
+		cfg.DrainMargin = 1
+	}
+	m := tso.New(cfg)
+	base := m.AllocWords(p.Vars)
+
+	results := make([][]int, len(p.Threads))
+	for th := range p.Threads {
+		ops := p.Threads[th]
+		results[th] = make([]int, p.Regs)
+		//tbtso:ignore escape results is the harness's per-thread outcome capture (indexed by th.ID(), one writer each), read only after Machine.Run returns — not algorithm memory
+		m.Spawn(fmt.Sprintf("T%d", th), func(t *tso.Thread) {
+			me := results[t.ID()]
+			for _, op := range ops {
+				switch op.Kind {
+				case mc.OpStore:
+					t.Store(base+tso.Addr(op.Addr), tso.Word(op.Val))
+				case mc.OpLoad:
+					me[op.Reg] = int(t.Load(base + tso.Addr(op.Addr)))
+				case mc.OpFence:
+					t.Fence()
+				case mc.OpRMW:
+					me[op.Reg] = int(t.FetchAdd(base+tso.Addr(op.Addr), tso.Word(op.Val)))
+				case mc.OpWait:
+					t.WaitUntil(t.Clock() + uint64(op.Val))
+				}
+			}
+		})
+	}
+	if res := m.Run(); res.Err != nil {
+		return "", res.Err
+	}
+	return mc.FormatOutcome(results), nil
+}

@@ -1,0 +1,80 @@
+package fuzz
+
+import (
+	"testing"
+
+	"tbtso/internal/mc"
+	"tbtso/internal/tso"
+)
+
+var sb = mc.Program{
+	Threads: [][]mc.Op{
+		{mc.St(0, 1), mc.Ld(1, 0)},
+		{mc.St(1, 1), mc.Ld(0, 0)},
+	},
+	Vars: 2, Regs: 1,
+}
+
+func TestRunOnMachineDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		run := MachineRun{Delta: 8, Policy: tso.DrainRandom, Seed: seed}
+		a, err := RunOnMachine(sb, run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunOnMachine(sb, run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("seed %d: %q vs %q", seed, a, b)
+		}
+	}
+}
+
+// TestRunOnMachineAdversarialSB: under plain TSO with the adversarial
+// policy, store buffering must actually manifest — both SB threads read
+// 0. If it doesn't, the machine side of the differential test is too
+// weak to catch anything.
+func TestRunOnMachineAdversarialSB(t *testing.T) {
+	out, err := RunOnMachine(sb, MachineRun{Delta: 0, Policy: tso.DrainAdversarial, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "T0:r0=0 T1:r0=0"; out != want {
+		t.Fatalf("adversarial SB outcome %q, want %q", out, want)
+	}
+}
+
+func TestCoverDelta(t *testing.T) {
+	if got := CoverDelta(sb, 0); got != 0 {
+		t.Fatalf("unbounded cover = %d, want 0", got)
+	}
+	if got := CoverDelta(sb, 3); got != (3+1)*2+2 {
+		t.Fatalf("cover(Δ=3, 2 threads) = %d", got)
+	}
+}
+
+// TestRunOnMachineRMWSemantics: the machine's FetchAdd must return the
+// OLD value into the register, matching mc.OpRMW — a classic spot for
+// the two models to drift apart silently.
+func TestRunOnMachineRMWSemantics(t *testing.T) {
+	p := mc.Program{
+		Threads: [][]mc.Op{{mc.St(0, 5), mc.Fence(), mc.RMW(0, 2, 0), mc.Ld(0, 1)}},
+		Vars:    1, Regs: 2,
+	}
+	out, err := RunOnMachine(p, MachineRun{Delta: 4, Policy: tso.DrainEager, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "T0:r0=5 T0:r1=7"; out != want {
+		t.Fatalf("RMW outcome %q, want %q", out, want)
+	}
+	res, err := mc.ExploreParallel(p, CoverDelta(p, 4), mc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Has(out) {
+		t.Fatalf("checker does not admit the machine's RMW outcome %q: %v", out, res.List())
+	}
+}

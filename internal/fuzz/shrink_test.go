@@ -1,0 +1,77 @@
+package fuzz
+
+import (
+	"testing"
+
+	"tbtso/internal/mc"
+)
+
+// TestShrinkSyntheticPredicate drives the shrinker with a cheap
+// structural predicate — "some thread still stores to variable 0 and
+// Δ ≥ 1" — and checks it reaches the unique minimum: one thread, one
+// op, value 1, one variable, one register, Δ = 1.
+func TestShrinkSyntheticPredicate(t *testing.T) {
+	c := Candidate{
+		Program: mc.Program{
+			Threads: [][]mc.Op{
+				{mc.Ld(2, 0), mc.St(0, 3), mc.Wait(2), mc.Fence()},
+				{mc.RMW(1, 2, 1), mc.St(2, 2)},
+				{mc.St(0, 2), mc.Ld(0, 2)},
+			},
+			Vars: 3, Regs: 3,
+		},
+		Delta: 8,
+	}
+	fails := func(n Candidate) bool {
+		if n.Delta < 1 {
+			return false
+		}
+		for _, th := range n.Program.Threads {
+			for _, op := range th {
+				if op.Kind == mc.OpStore && op.Addr == 0 {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	res := Shrink(c, fails, 0)
+	got := res.Candidate
+	if got.ops() != 1 || len(got.Program.Threads) != 1 {
+		t.Fatalf("not minimal: %d ops in %d threads: %+v", got.ops(), len(got.Program.Threads), got.Program)
+	}
+	op := got.Program.Threads[0][0]
+	if op.Kind != mc.OpStore || op.Addr != 0 || op.Val != 1 {
+		t.Fatalf("wrong surviving op: %+v", op)
+	}
+	if got.Delta != 1 || got.Program.Vars != 1 || got.Program.Regs != 1 {
+		t.Fatalf("dimensions not minimal: Δ=%d Vars=%d Regs=%d", got.Delta, got.Program.Vars, got.Program.Regs)
+	}
+	if res.Steps == 0 || res.Attempts <= res.Steps {
+		t.Fatalf("implausible accounting: steps=%d attempts=%d", res.Steps, res.Attempts)
+	}
+}
+
+func TestShrinkRejectsPassingCandidate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Shrink accepted a passing candidate without panicking")
+		}
+	}()
+	Shrink(Candidate{Program: mc.Program{Threads: [][]mc.Op{{mc.Fence()}}, Vars: 1, Regs: 1}},
+		func(Candidate) bool { return false }, 10)
+}
+
+// TestShrinkRespectsAttemptBudget: an always-failing predicate would
+// otherwise let value/delta passes spin; the budget must cut them off.
+func TestShrinkRespectsAttemptBudget(t *testing.T) {
+	c := Candidate{
+		Program: mc.Program{Threads: [][]mc.Op{{mc.St(0, 3), mc.St(1, 3)}, {mc.Ld(0, 0)}}, Vars: 2, Regs: 1},
+		Delta:   100,
+	}
+	calls := 0
+	res := Shrink(c, func(Candidate) bool { calls++; return true }, 25)
+	if res.Attempts > 25 || calls > 25 {
+		t.Fatalf("budget exceeded: attempts=%d calls=%d", res.Attempts, calls)
+	}
+}

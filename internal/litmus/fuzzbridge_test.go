@@ -1,111 +1,53 @@
 package litmus
 
 import (
-	"fmt"
-	"math/rand"
+	"errors"
 	"testing"
 
+	"tbtso/internal/fuzz"
 	"tbtso/internal/mc"
 	"tbtso/internal/tso"
 )
 
-// TestFuzzSampledSubsetOfExhaustive generates random two-thread
-// straight-line programs and checks, for each, that every outcome the
-// clocked abstract machine samples is admitted by the exhaustive model
-// checker — under plain TSO and under a bound. This pins the two
-// implementations of the memory model to each other.
+// TestFuzzSampledSubsetOfExhaustive pins the two implementations of the
+// memory model to each other: every outcome the clocked abstract
+// machine samples must be admitted by the exhaustive model checker.
+// Rebased on internal/fuzz's generator, it now covers the FULL op
+// vocabulary — stores, loads, fences, RMWs, waits — across 1..3
+// threads, with the machine run at Δ ticks and the checker at the
+// covering Δ (fuzz.CoverDelta's containment argument). The fuzz
+// package's own tests sweep wider; this bridge test keeps the
+// cross-package property visible where the litmus suite lives.
 func TestFuzzSampledSubsetOfExhaustive(t *testing.T) {
-	const (
-		programs = 25
-		vars     = 2
-		maxOps   = 4
-	)
-	for pi := 0; pi < programs; pi++ {
-		rng := rand.New(rand.NewSource(int64(pi)))
-		// Generate the program in mc form.
-		prog := mc.Program{Vars: vars, Regs: maxOps}
-		type opDesc struct {
-			isStore  bool
-			addr     int
-			val, reg int
-		}
-		descs := make([][]opDesc, 2)
-		for th := 0; th < 2; th++ {
-			n := rng.Intn(maxOps) + 1
-			var ops []mc.Op
-			regs := 0
-			for k := 0; k < n; k++ {
-				addr := rng.Intn(vars)
-				if rng.Intn(2) == 0 {
-					val := rng.Intn(2) + 1
-					ops = append(ops, mc.St(addr, val))
-					descs[th] = append(descs[th], opDesc{isStore: true, addr: addr, val: val})
-				} else {
-					ops = append(ops, mc.Ld(addr, regs))
-					descs[th] = append(descs[th], opDesc{addr: addr, reg: regs})
-					regs++
+	gen := fuzz.GenConfig{MaxThreads: 3, MaxOps: 4, MaxTotalOps: 8, Vars: 2, Regs: 3}
+	policies := []tso.DrainPolicy{tso.DrainEager, tso.DrainRandom, tso.DrainAdversarial}
+	for seed := int64(0); seed < 40; seed++ {
+		p := fuzz.Gen(gen, seed)
+		for _, delta := range []int{0, 1, 3} {
+			machDelta := fuzz.MachineDelta(delta)
+			cover := fuzz.CoverDelta(p, machDelta)
+			exhaustive, err := mc.ExploreParallel(p, cover, mc.Options{MaxStates: 400_000})
+			if err != nil {
+				var te *mc.TruncatedError
+				if errors.As(err, &te) {
+					continue // partial sets admit no containment claim
 				}
+				t.Fatalf("seed=%d Δ=%d cover=%d: explore: %v", seed, delta, cover, err)
 			}
-			prog.Threads = append(prog.Threads, ops)
-		}
-
-		for _, cfg := range []struct {
-			machDelta uint64
-			mcDelta   int
-		}{
-			{0, 0},
-			{300, 40},
-		} {
-			exhaustive := mc.Explore(prog, cfg.mcDelta)
-
-			// Run the same program on the clocked machine over seeds
-			// and policies, collecting register outcomes.
-			for _, policy := range []tso.DrainPolicy{tso.DrainEager, tso.DrainRandom, tso.DrainAdversarial} {
-				for seed := int64(0); seed < 12; seed++ {
-					m := tso.New(tso.Config{Delta: cfg.machDelta, Policy: policy, Seed: seed})
-					base := m.AllocWords(vars)
-					results := make([][]int, 2)
-					for th := 0; th < 2; th++ {
-						ds := descs[th]
-						results[th] = make([]int, maxOps)
-						m.Spawn("t", func(thd *tso.Thread) {
-							for _, d := range ds {
-								if d.isStore {
-									thd.Store(base+tso.Addr(d.addr), tso.Word(d.val))
-								} else {
-									results[thd.ID()][d.reg] = int(thd.Load(base + tso.Addr(d.addr)))
-								}
-							}
-						})
+			for _, policy := range policies {
+				for machSeed := int64(0); machSeed < 4; machSeed++ {
+					run := fuzz.MachineRun{Delta: machDelta, Policy: policy, Seed: machSeed}
+					outcome, err := fuzz.RunOnMachine(p, run)
+					if err != nil {
+						t.Fatalf("seed=%d Δ=%d policy=%v machSeed=%d: machine run: %v",
+							seed, delta, policy, machSeed, err)
 					}
-					if res := m.Run(); res.Err != nil {
-						t.Fatalf("prog=%d: machine run: %v", pi, res.Err)
-					}
-					// Canonicalize to the checker's outcome naming.
-					var parts []string
-					for th := 0; th < 2; th++ {
-						for r := 0; r < maxOps; r++ {
-							parts = append(parts, fmt.Sprintf("T%d:r%d=%d", th, r, results[th][r]))
-						}
-					}
-					key := joinSpace(parts)
-					if !exhaustive.Has(key) {
-						t.Fatalf("prog=%d policy=%v seed=%d machΔ=%d: sampled outcome %q not in exhaustive set (%d outcomes)",
-							pi, policy, seed, cfg.machDelta, key, len(exhaustive.Outcomes))
+					if !exhaustive.Has(outcome) {
+						t.Errorf("seed=%d Δ=%d (cover %d) policy=%v machSeed=%d: sampled outcome %q not in exhaustive set (%d outcomes)",
+							seed, delta, cover, policy, machSeed, outcome, len(exhaustive.Outcomes))
 					}
 				}
 			}
 		}
 	}
-}
-
-func joinSpace(parts []string) string {
-	out := ""
-	for i, p := range parts {
-		if i > 0 {
-			out += " "
-		}
-		out += p
-	}
-	return out
 }

@@ -38,11 +38,16 @@ type Options struct {
 var ErrTruncated = errors.New("mc: state budget exhausted")
 
 // TruncatedError reports an exploration that hit its state budget; the
-// accompanying Result is a partial subset of the outcome set.
+// accompanying Result is a partial subset of the outcome set. The same
+// partial Result is carried in Partial, so callers that only see the
+// error (or that treat the (Result, error) pair uniformly) can still
+// render what WAS explored — absence of an outcome proves nothing, but
+// presence is as real as in a completed run.
 type TruncatedError struct {
 	MaxStates int    // the budget
 	States    int    // states visited (== MaxStates)
 	Shape     string // the program's dimensions and Δ
+	Partial   Result // the partial result: a subset of the outcome set
 }
 
 func (e *TruncatedError) Error() string {
@@ -203,7 +208,7 @@ func ExploreParallel(p Program, delta int, opts Options) (Result, error) {
 	}
 	e.publishFinal(res)
 	if e.truncated.Load() {
-		return res, &TruncatedError{MaxStates: maxStates, States: res.States, Shape: p.shape(delta)}
+		return res, &TruncatedError{MaxStates: maxStates, States: res.States, Shape: p.shape(delta), Partial: res}
 	}
 	return res, nil
 }

@@ -207,6 +207,12 @@ func (s *state) outcome() string {
 	return outcomeString(s.regs)
 }
 
+// FormatOutcome renders per-thread register files in the package's
+// canonical "T0:r0=1 T1:r0=0" form — the key space of Result.Outcomes.
+// External harnesses (internal/fuzz's machine runner) use it to put
+// sampled executions in the checker's outcome vocabulary.
+func FormatOutcome(regs [][]int) string { return outcomeString(regs) }
+
 // outcomeString renders per-thread register files in the package's
 // canonical "T0:r0=1 T1:r0=0" form.
 func outcomeString(regs [][]int) string {

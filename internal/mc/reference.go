@@ -187,7 +187,7 @@ func ExploreSequentialBounded(p Program, delta, maxStates int) (res Result, err 
 	}
 	dfs(newState(p))
 	if !complete {
-		return res, &TruncatedError{MaxStates: maxStates, States: res.States, Shape: p.shape(delta)}
+		return res, &TruncatedError{MaxStates: maxStates, States: res.States, Shape: p.shape(delta), Partial: res}
 	}
 	return res, nil
 }

@@ -5,6 +5,7 @@
 package workload
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
 	"time"
@@ -110,6 +111,46 @@ func SpinWait(d time.Duration) {
 	}
 }
 
+// Weighted draws indices with the given relative integer weights — the
+// generic discrete distribution behind the fuzzer's op-kind mix
+// (internal/fuzz) and any workload that needs a skewed categorical
+// choice. A zero total weight always returns 0. Not safe for concurrent
+// use; like KeyGen, give each worker its own (or share one *rand.Rand
+// across several distributions for a single deterministic stream).
+type Weighted struct {
+	rng     *rand.Rand
+	weights []int
+	total   int
+}
+
+// NewWeighted returns a sampler over indices 0..len(weights)-1 drawing
+// index i with probability weights[i]/sum. Negative weights panic.
+func NewWeighted(rng *rand.Rand, weights ...int) *Weighted {
+	w := &Weighted{rng: rng, weights: append([]int(nil), weights...)}
+	for i, x := range weights {
+		if x < 0 {
+			panic(fmt.Sprintf("workload: negative weight %d at index %d", x, i))
+		}
+		w.total += x
+	}
+	return w
+}
+
+// Next draws the next index.
+func (w *Weighted) Next() int {
+	if w.total == 0 {
+		return 0
+	}
+	n := w.rng.Intn(w.total)
+	for i, x := range w.weights {
+		if n < x {
+			return i
+		}
+		n -= x
+	}
+	return len(w.weights) - 1 // unreachable
+}
+
 // Interarrival draws exponential interarrival delays with the given
 // mean, the lock benchmark's "random interarrival delay (simulating
 // application work)" (§7.2). A zero mean always returns 0.
@@ -141,6 +182,25 @@ type LockPattern struct {
 	// acquisitions (the last pattern: context switch / long
 	// computation).
 	OwnerStall time.Duration
+	// StallGap is the minimum vclock time between injected owner
+	// stalls, so a stall pattern interleaves stalls with bursts of
+	// normal acquisitions rather than stalling back to back. Zero
+	// selects DefaultStallGap. Measured on internal/vclock (the same
+	// clock SpinWait spins on), not the wall clock, so the cadence is
+	// load-independent.
+	StallGap time.Duration
+}
+
+// DefaultStallGap is used when LockPattern.StallGap is zero.
+const DefaultStallGap = 2 * time.Millisecond
+
+// StallGapTicks returns the stall-injection threshold in vclock ticks
+// (nanoseconds), applying the default.
+func (p LockPattern) StallGapTicks() int64 {
+	if p.StallGap == 0 {
+		return int64(DefaultStallGap)
+	}
+	return int64(p.StallGap)
 }
 
 // Patterns returns the four access patterns of Figure 8, scaled so the
