@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race check bench mc-bench fuzz-smoke figures figures-quick demos clean
+.PHONY: all build vet lint verify test race check bench mc-bench fuzz-smoke figures figures-quick demos clean
 
 all: build lint test
 
@@ -17,6 +17,13 @@ vet:
 lint: vet
 	$(GO) run ./cmd/tbtso-lint ./...
 
+# Δ-bound certification: extract the //tbtso:verify-annotated protocol
+# pairs, model-check them across the Δ sweep, and diff the verdicts
+# against the committed certificates in certs/ (see docs/VERIFY.md).
+# After an intended protocol change: go run ./cmd/tbtso-verify -update
+verify:
+	$(GO) run ./cmd/tbtso-verify ./...
+
 test:
 	$(GO) test ./...
 
@@ -24,7 +31,7 @@ race:
 	$(GO) test -race ./internal/...
 
 # The full gate: everything CI runs.
-check: build lint test race
+check: build lint test race verify
 
 # testing.B versions of every figure + micro/ablation benches.
 bench:

@@ -3,11 +3,14 @@
 //
 // Usage:
 //
-//	tbtso-lint [-check fencefree,requires-fence,escape,mixed] [patterns...]
+//	tbtso-lint [-check fencefree,requires-fence,escape,mixed] [-format text|json] [patterns...]
 //
 // Patterns default to ./... (every package in the module). The exit
 // status is 1 when any diagnostic is reported, 2 on usage or load
-// errors, so the tool slots into Makefiles next to go vet.
+// errors, so the tool slots into Makefiles next to go vet. With
+// -format=json the diagnostics are printed as an array of
+// {file,line,col,check,message} records with module-relative paths,
+// for machine consumption in CI.
 package main
 
 import (
@@ -21,8 +24,9 @@ import (
 func main() {
 	checkFlag := flag.String("check", "", "comma-separated checks to run (default: all of fencefree, requires-fence, escape, mixed)")
 	dirFlag := flag.String("C", ".", "directory inside the module to analyze from")
+	formatFlag := flag.String("format", "text", "output format: text or json")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tbtso-lint [-check list] [-C dir] [package patterns]\n")
+		fmt.Fprintf(os.Stderr, "usage: tbtso-lint [-check list] [-C dir] [-format text|json] [package patterns]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -32,13 +36,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tbtso-lint:", err)
 		os.Exit(2)
 	}
-
-	loader, err := analysis.NewLoader(*dirFlag)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tbtso-lint:", err)
+	if *formatFlag != "text" && *formatFlag != "json" {
+		fmt.Fprintf(os.Stderr, "tbtso-lint: unknown format %q (valid: text, json)\n", *formatFlag)
 		os.Exit(2)
 	}
-	pkgs, err := loader.Load(flag.Args()...)
+
+	pkgs, root, err := analysis.LoadModule(*dirFlag, flag.Args()...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tbtso-lint:", err)
 		os.Exit(2)
@@ -46,8 +49,16 @@ func main() {
 
 	a := analysis.Analyzer{Packages: pkgs, Checks: checks}
 	diags := a.Run()
-	for _, d := range diags {
-		fmt.Printf("%s\n", d)
+	switch *formatFlag {
+	case "json":
+		if err := analysis.WriteDiagnosticsJSON(os.Stdout, diags, root); err != nil {
+			fmt.Fprintln(os.Stderr, "tbtso-lint:", err)
+			os.Exit(2)
+		}
+	default:
+		for _, d := range diags {
+			fmt.Printf("%s\n", d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "tbtso-lint: %d problem(s) in %d package(s)\n", len(diags), len(pkgs))

@@ -1,0 +1,290 @@
+// Command tbtso-verify extracts the //tbtso:verify-annotated protocol
+// pairs from the module's source, model-checks each under mc's TBTSO[Δ]
+// sweep, and compares the verdicts against the committed certificates
+// (see docs/VERIFY.md for the annotation grammar and the certification
+// semantics).
+//
+// Usage:
+//
+//	tbtso-verify [flags] [package patterns]
+//
+//	-C dir          module directory to run from (default ".")
+//	-certdir dir    certificate directory, module-relative (default "certs")
+//	-update         rewrite certificates and counterexample artifacts
+//	-sweep N        top of the Δ sweep (default 4): Δ runs 1..N
+//	-maxstates N    per-exploration state budget (default mc's)
+//	-format f       text or json (certificates to stdout)
+//	-suggest-fences for violated pairs, search minimal fence insertions
+//	                restoring plain-TSO soundness
+//	-replay file    re-validate one counterexample artifact and exit
+//
+// Patterns default to ./.... Exit status: 0 when every pair's verdict
+// matches its expectation AND matches the committed certificate; 1 on
+// any diagnostic, unexpected verdict, or certificate drift; 2 on usage
+// or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+
+	"tbtso/internal/analysis"
+	"tbtso/internal/analysis/extract"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	dirFlag := flag.String("C", ".", "directory inside the module to analyze from")
+	certDir := flag.String("certdir", "certs", "certificate directory, relative to the module root")
+	update := flag.Bool("update", false, "rewrite certificates and counterexample artifacts")
+	sweep := flag.Int("sweep", 4, "top of the Δ sweep (Δ runs 1..N)")
+	maxStates := flag.Int("maxstates", 0, "per-exploration state budget (0 = mc default)")
+	formatFlag := flag.String("format", "text", "output format: text or json")
+	suggest := flag.Bool("suggest-fences", false, "for violated pairs, search minimal fence insertions restoring plain-TSO soundness")
+	replay := flag.String("replay", "", "counterexample artifact to re-validate")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tbtso-verify [-C dir] [-certdir dir] [-update] [-sweep N] [-maxstates N] [-format text|json] [-suggest-fences] [-replay file] [package patterns]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *formatFlag != "text" && *formatFlag != "json" {
+		fmt.Fprintf(os.Stderr, "tbtso-verify: unknown format %q (valid: text, json)\n", *formatFlag)
+		return 2
+	}
+
+	pkgs, root, err := analysis.LoadModule(*dirFlag, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tbtso-verify:", err)
+		return 2
+	}
+
+	ex := extract.Extract(pkgs)
+	failed := false
+	for _, d := range ex.Diags {
+		fmt.Fprintln(os.Stderr, d)
+		failed = true
+	}
+	if len(ex.Pairs) == 0 {
+		fmt.Fprintln(os.Stderr, "tbtso-verify: no //tbtso:verify pairs found")
+		return 2
+	}
+	opt := extract.Options{MaxDelta: *sweep, MaxStates: *maxStates}
+
+	if *replay != "" {
+		return replayCex(ex, *replay, opt)
+	}
+
+	dir := filepath.Join(root, *certDir)
+	var certs []extract.Certificate
+	for _, p := range ex.Pairs {
+		if p.Failed {
+			failed = true
+			continue
+		}
+		rep, err := extract.Certify(p, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tbtso-verify:", err)
+			failed = true
+			continue
+		}
+		certs = append(certs, rep.Cert)
+		report(p, rep)
+		if !rep.Ok() {
+			failed = true
+			if *suggest {
+				suggestFences(p, opt)
+			}
+		}
+		if *update {
+			if err := writeArtifacts(dir, p, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "tbtso-verify:", err)
+				failed = true
+			}
+		} else if err := compareCert(dir, rep.Cert); err != nil {
+			fmt.Fprintln(os.Stderr, "tbtso-verify:", err)
+			failed = true
+		}
+	}
+
+	if *formatFlag == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(certs); err != nil {
+			fmt.Fprintln(os.Stderr, "tbtso-verify:", err)
+			return 2
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// report prints the one-line human verdict for a pair.
+func report(p *extract.Pair, rep *extract.Report) {
+	c := rep.Cert
+	mark := "ok  "
+	if !rep.Ok() {
+		mark = "FAIL"
+	}
+	switch c.Status {
+	case extract.StatusCertified:
+		top := c.Sweep[len(c.Sweep)-1]
+		fmt.Printf("%s %-10s certified at Δ=%d..%d (threads=%d, %d states at Δ=%d, reductions: %s)\n",
+			mark, c.Pair, c.CertifiedDelta, c.MaxDelta, c.Threads, top.States, top.Delta,
+			strings.Join(c.Reductions, ","))
+	case extract.StatusRefuted:
+		fmt.Printf("%s %-10s refuted at Δ=0 as planted (witness %q", mark, c.Pair, c.TSO.Witness)
+		if rep.Cex != nil && rep.Cex.Policy != "" {
+			fmt.Printf("; machine run %s/seed=%d reproduces", rep.Cex.Policy, rep.Cex.MachSeed)
+		}
+		fmt.Printf(")\n")
+	case extract.StatusDecertified:
+		fmt.Printf("%s %-10s DECERTIFIED: forbidden outcome %q admitted at Δ=%d (wait=%d)\n",
+			mark, c.Pair, rep.Cex.Outcome, rep.Cex.Delta, rep.Cex.Wait)
+	case extract.StatusVacuous:
+		fmt.Printf("%s %-10s VACUOUS: property holds even on plain TSO; check the annotations\n", mark, c.Pair)
+	case extract.StatusUnrefuted:
+		fmt.Printf("%s %-10s UNREFUTED: expect=fail pair holds at Δ=0; the planted violation is gone\n", mark, c.Pair)
+	}
+}
+
+func suggestFences(p *extract.Pair, opt extract.Options) {
+	sugs, err := extract.SuggestFences(p, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tbtso-verify: suggest:", err)
+		return
+	}
+	if len(sugs) == 0 {
+		fmt.Printf("     no fence set of size <= 2 restores plain-TSO soundness for %s\n", p.Name)
+		return
+	}
+	for _, s := range sugs {
+		var parts []string
+		for _, f := range s.Fences {
+			parts = append(parts, fmt.Sprintf("%s: Fence before op %d (%s)", f.Role, f.Index, f.Before))
+		}
+		fmt.Printf("     suggest: %s\n", strings.Join(parts, "; "))
+	}
+}
+
+// certPath/cexPath/tracePath name a pair's committed artifacts.
+func certPath(dir, pair string) string  { return filepath.Join(dir, pair+".json") }
+func cexPath(dir, pair string) string   { return filepath.Join(dir, pair+".cex.json") }
+func tracePath(dir, pair string) string { return filepath.Join(dir, pair+".trace.json") }
+
+// writeArtifacts writes the certificate and, when a violation was
+// found, the counterexample artifact and its Perfetto trace.
+func writeArtifacts(dir string, p *extract.Pair, rep *extract.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeJSON(certPath(dir, p.Name), rep.Cert); err != nil {
+		return err
+	}
+	fmt.Printf("     wrote %s\n", certPath(dir, p.Name))
+	if rep.Cex == nil {
+		return nil
+	}
+	if err := writeJSON(cexPath(dir, p.Name), rep.Cex); err != nil {
+		return err
+	}
+	fmt.Printf("     wrote %s\n", cexPath(dir, p.Name))
+	if rep.Cex.Policy != "" {
+		f, err := os.Create(tracePath(dir, p.Name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rep.Cex.PerfettoTrace(f); err != nil {
+			return err
+		}
+		fmt.Printf("     wrote %s\n", tracePath(dir, p.Name))
+	}
+	return nil
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// compareCert checks the freshly computed certificate against the
+// committed one. State/transition counts are normalized away before
+// comparing — they are engine-version facts, not protocol facts, and
+// must not fail CI when the explorer gets faster.
+func compareCert(dir string, got extract.Certificate) error {
+	data, err := os.ReadFile(certPath(dir, got.Pair))
+	if err != nil {
+		return fmt.Errorf("pair %s: no committed certificate (%v); run with -update and commit %s",
+			got.Pair, err, certPath(dir, got.Pair))
+	}
+	var want extract.Certificate
+	if err := json.Unmarshal(data, &want); err != nil {
+		return fmt.Errorf("pair %s: parsing committed certificate: %v", got.Pair, err)
+	}
+	normalize := func(c *extract.Certificate) {
+		c.TSO.States, c.TSO.Transitions = 0, 0
+		for i := range c.Sweep {
+			c.Sweep[i].States, c.Sweep[i].Transitions = 0, 0
+		}
+	}
+	normalize(&got)
+	normalize(&want)
+	if !reflect.DeepEqual(got, want) {
+		g, _ := json.Marshal(got)
+		w, _ := json.Marshal(want)
+		return fmt.Errorf("pair %s: verdict drifted from committed certificate %s\n  committed: %s\n  computed:  %s\n  (rerun with -update if the change is intended)",
+			got.Pair, certPath(dir, got.Pair), w, g)
+	}
+	return nil
+}
+
+// replayCex re-validates a counterexample artifact against the current
+// source: the pair is re-extracted, the stored outcome must still be
+// forbidden and admitted, and the stored machine run must still
+// reproduce.
+func replayCex(ex *extract.Extraction, path string, opt extract.Options) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tbtso-verify:", err)
+		return 2
+	}
+	var cex extract.Counterexample
+	if err := json.Unmarshal(data, &cex); err != nil {
+		fmt.Fprintln(os.Stderr, "tbtso-verify:", err)
+		return 2
+	}
+	for _, p := range ex.Pairs {
+		if p.Name != cex.Pair {
+			continue
+		}
+		if err := cex.Replay(p, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "tbtso-verify: replay %s: %v\n", path, err)
+			return 1
+		}
+		fmt.Printf("ok   %s reproduces: outcome %q at Δ=%d", cex.Pair, cex.Outcome, cex.Delta)
+		if cex.Policy != "" {
+			fmt.Printf(" (machine run %s/seed=%d)", cex.Policy, cex.MachSeed)
+		}
+		fmt.Println()
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "tbtso-verify: artifact names pair %q, which is not in the loaded packages\n", cex.Pair)
+	return 1
+}

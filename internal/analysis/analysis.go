@@ -127,7 +127,13 @@ func (a *Analyzer) Run() []Diagnostic {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return kept[i].Check < kept[j].Check
+		if kept[i].Check != kept[j].Check {
+			return kept[i].Check < kept[j].Check
+		}
+		// Full tiebreak on the message text so the order is a pure
+		// function of the diagnostic set, independent of map iteration
+		// anywhere upstream.
+		return kept[i].Message < kept[j].Message
 	})
 	return kept
 }

@@ -134,6 +134,10 @@ func (ft *factTable) applyFuncDirective(p *Package, facts *funcFacts, fd *ast.Fu
 		facts.fenceFree = true
 	case "requires-fence":
 		facts.requiresFence = true
+	case "verify", "property", "model", "shared":
+		// Extraction directives consumed by internal/analysis/extract
+		// (tbtso-verify). Their grammar is validated there; the lint
+		// checks only need to not mistake them for typos.
 	case "ignore":
 		// Doc comments are also visited by collectComment (they appear
 		// in File.Comments), which validates and reports problems; here

@@ -1,0 +1,104 @@
+// Package pairs holds small, self-contained verification pairs for the
+// extract package's tests: the store-buffering square in several
+// disciplines (atomics, //tbtso:shared plain variables, a planted
+// too-short wait, and a plain-TSO negative control). Each pair is the
+// minimal shape of the paper's flag principle — a fence-free
+// store→load writer against an announcing, fencing, waiting reader.
+package pairs
+
+import (
+	"sync/atomic"
+
+	"tbtso/internal/core"
+	"tbtso/internal/fence"
+)
+
+// The adequate-wait pair: reader announces, fences, waits out the
+// bound. Must certify at every Δ and be violated on plain TSO.
+//
+//tbtso:property pair=sb forbid writer.y == 0 && reader.x == 0
+
+var x, y atomic.Uint64
+
+//tbtso:verify pair=sb role=writer
+//tbtso:fencefree
+func SBWriter() uint64 {
+	x.Store(1)
+	return y.Load()
+}
+
+//tbtso:verify pair=sb role=reader
+//tbtso:requires-fence
+func SBReader(f *fence.Line, b core.Bound, t0 int64) uint64 {
+	y.Store(1)
+	f.Full()
+	b.Wait(t0)
+	return x.Load()
+}
+
+// The same square over plain (non-atomic) package variables designated
+// //tbtso:shared — exercising the designation path of the extractor.
+//
+//tbtso:property pair=sb-shared forbid writer.sy == 0 && reader.sx == 0
+
+//tbtso:shared
+var sx uint64
+
+//tbtso:shared
+var sy uint64
+
+//tbtso:verify pair=sb-shared role=writer
+func SharedWriter() uint64 {
+	sx = 1
+	return sy
+}
+
+//tbtso:verify pair=sb-shared role=reader
+func SharedReader(f *fence.Line, b core.Bound, t0 int64) uint64 {
+	sy = 1
+	f.Full()
+	b.Wait(t0)
+	return sx
+}
+
+// The planted inadequate wait: the reader only waits one transition
+// regardless of Δ, so large bounds admit the violation — the pair
+// decertifies once the sweep climbs past the program length.
+//
+//tbtso:property pair=sb-shortwait forbid writer.wy == 0 && reader.wx == 0
+
+var wx, wy atomic.Uint64
+
+//tbtso:verify pair=sb-shortwait role=writer
+func ShortWaitWriter() uint64 {
+	wx.Store(1)
+	return wy.Load()
+}
+
+//tbtso:verify pair=sb-shortwait role=reader
+func ShortWaitReader(f *fence.Line, b core.Bound, t0 int64) uint64 {
+	wy.Store(1)
+	f.Full()
+	b.Wait(t0) //tbtso:model wait=1
+	return wx.Load()
+}
+
+// The plain-TSO negative control: no wait at all. Refuted at Δ=0; the
+// fence-suggestion search should recover the writer-side fence.
+//
+//tbtso:property pair=sb-tso expect=fail forbid writer.ty == 0 && reader.tx == 0
+
+var tx, ty atomic.Uint64
+
+//tbtso:verify pair=sb-tso role=writer
+func TSOWriter() uint64 {
+	tx.Store(1)
+	return ty.Load()
+}
+
+//tbtso:verify pair=sb-tso role=reader
+func TSOReader(f *fence.Line) uint64 {
+	ty.Store(1)
+	f.Full()
+	return tx.Load()
+}

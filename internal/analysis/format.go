@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// DiagnosticJSON is the stable wire form of one diagnostic, emitted by
+// tbtso-lint -format=json for machine consumption in CI.
+type DiagnosticJSON struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// EncodeDiagnostics converts diagnostics to the wire form. When root is
+// non-empty, filenames under it are made root-relative (with forward
+// slashes), so the output is stable across checkouts.
+func EncodeDiagnostics(diags []Diagnostic, root string) []DiagnosticJSON {
+	recs := make([]DiagnosticJSON, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		msg := d.Message
+		if root != "" {
+			if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) &&
+				rel != ".." && !hasDotDotPrefix(rel) {
+				file = filepath.ToSlash(rel)
+			}
+			// Messages sometimes cite other positions (the mixed check's
+			// "e.g. at <pos>"); strip the root there too so the records
+			// are checkout-independent.
+			msg = strings.ReplaceAll(msg, root+string(filepath.Separator), "")
+		}
+		recs = append(recs, DiagnosticJSON{
+			File:    file,
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Check:   d.Check,
+			Message: msg,
+		})
+	}
+	return recs
+}
+
+func hasDotDotPrefix(rel string) bool {
+	return len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}
+
+// WriteDiagnosticsJSON writes the diagnostics as an indented JSON array
+// (an empty array, never null, when there are none). The order is the
+// caller's — Analyzer.Run already returns a fully deterministic order.
+func WriteDiagnosticsJSON(w io.Writer, diags []Diagnostic, root string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(EncodeDiagnostics(diags, root))
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestDiagnosticsJSONGolden locks down the -format=json wire form: the
+// mixed_bad and annot_bad golden packages are analyzed together and the
+// encoded diagnostics must match testdata/diags.golden.json byte for
+// byte (run with -update to regenerate). Paths are module-relative, so
+// the golden file is stable across checkouts; the order is
+// Analyzer.Run's fully deterministic (file, line, col, check, message)
+// order.
+func TestDiagnosticsJSONGolden(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(
+		filepath.Join("internal", "analysis", "testdata", "src", "mixed_bad"),
+		filepath.Join("internal", "analysis", "testdata", "src", "annot_bad"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyzer{Packages: pkgs}
+	diags := a.Run()
+	if len(diags) == 0 {
+		t.Fatal("golden packages produced no diagnostics; the fixture is broken")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteDiagnosticsJSON(&buf, diags, loader.ModuleRoot); err != nil {
+		t.Fatal(err)
+	}
+
+	goldenPath := filepath.Join("testdata", "diags.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test ./internal/analysis -run JSONGolden -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("JSON diagnostics drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestDiagnosticsJSONEmpty pins the no-findings encoding: an empty
+// array, never null — CI consumers parse the output unconditionally.
+func TestDiagnosticsJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDiagnosticsJSON(&buf, nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "[]\n" {
+		t.Errorf("empty diagnostics encode as %q, want %q", got, "[]\n")
+	}
+}

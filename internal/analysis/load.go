@@ -232,6 +232,24 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	return out, nil
 }
 
+// LoadModule locates the module containing dir and loads the packages
+// matching patterns in one shared type-checking pass, returning the
+// packages and the module root. It is the single entry point the CLIs
+// (tbtso-lint, tbtso-verify) share: one invocation pays for exactly one
+// importer/type-check setup, and every check or extraction that follows
+// runs over the same []*Package, so type identities agree everywhere.
+func LoadModule(dir string, patterns ...string) ([]*Package, string, error) {
+	l, err := NewLoader(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		return nil, "", err
+	}
+	return pkgs, l.ModuleRoot, nil
+}
+
 // packageDirs walks the module tree collecting directories that contain
 // at least one non-test Go file.
 func (l *Loader) packageDirs() ([]string, error) {

@@ -66,10 +66,13 @@ func (l *List) loadPrev(p *pos) arena.MarkWord {
 	return l.ar.Next(p.prevNode)
 }
 
-// casPrev swings the link word that pointed at cur.
+// casPrev swings the link word that pointed at cur. The head case goes
+// through smr.PublishLink — the annotated removal/insertion CAS of the
+// §4.2 protocol (tbtso-verify's `ffhp` pair); the node case is the
+// same primitive behind the arena's handle API.
 func (l *List) casPrev(p *pos, old, new arena.MarkWord) bool {
 	if p.prevNode.IsNil() {
-		return l.head.CompareAndSwap(uint64(old), uint64(new))
+		return smr.PublishLink(&l.head, uint64(old), uint64(new))
 	}
 	return l.ar.CASNext(p.prevNode, old, new)
 }
@@ -84,9 +87,11 @@ retry:
 		p := pos{prevNode: arena.Nil}
 		curW := arena.MarkWord(l.head.Load())
 		cur := curW.Handle()
-		// Figure 1 line 33: protect cur, validate *prev.
+		// Figure 1 line 33: protect cur, validate *prev. The validation
+		// load goes through smr.Validate — the annotated protect→validate
+		// pair tbtso-verify certifies (`ffhp`).
 		if l.smr.Protect(tid, slotCur, cur) {
-			if arena.MarkWord(l.head.Load()) != arena.Pack(cur, false) {
+			if !smr.Validate(&l.head, uint64(arena.Pack(cur, false))) {
 				continue retry
 			}
 		}

@@ -10,6 +10,15 @@ import (
 	"tbtso/internal/vclock"
 )
 
+// The `ffbl` verification pair (docs/VERIFY.md): mutual exclusion of
+// the owner fast path against a revoking non-owner is the flag
+// principle — forbidden is the overlap where the owner validated flag1
+// down (entered fast) while the revoker probed flag0 down (entered
+// after its announce+fence+wait). tbtso-verify extracts the annotated
+// helpers below into an mc program and certifies this across a Δ sweep.
+//
+//tbtso:property pair=ffbl forbid writer.flag1.v == 0 && reader.flag0.v == 0
+
 // FFBL is the fence-free biased lock of Figure 3 (bottom): the owner's
 // fast path is one store and one load with no fence and no atomic
 // read-modify-write; the non-owner serializes on L, raises a versioned
@@ -54,6 +63,22 @@ func NewFFBL(bound core.Bound, echo bool) *FFBL {
 // Name implements BiasedLock.
 func (b *FFBL) Name() string { return b.name }
 
+// ownerPublishAndCheck is the FFBL protocol kernel of the owner's fast
+// path (Figure 3f, first two lines): raise flag0 with a plain store,
+// then — with no fence in between — read flag1 to validate that no
+// non-owner is revoking. This is the store→load pair whose soundness
+// rests entirely on the Δ bound; tbtso-verify extracts it as the writer
+// side of the `ffbl` pair and certifies the overlap property under
+// mc's TBTSO[Δ] sweep (see docs/VERIFY.md).
+//
+//tbtso:verify pair=ffbl role=writer
+//tbtso:fencefree
+func (b *FFBL) ownerPublishAndCheck() uint64 {
+	b.flag0.v.Store(packFlag(0, 1)) //tbtso:model val=1
+	// no fence
+	return b.flag1.v.Load()
+}
+
 // OwnerLock implements BiasedLock (Figure 3f). The fast path — the
 // whole point of the algorithm — is the first two lines: raise flag0,
 // look at flag1, and enter. No fence separates them; on TBTSO the Δ
@@ -61,9 +86,7 @@ func (b *FFBL) Name() string { return b.name }
 //
 //tbtso:fencefree
 func (b *FFBL) OwnerLock() {
-	b.flag0.v.Store(packFlag(0, 1))
-	// no fence
-	if _, f := unpackFlag(b.flag1.v.Load()); f == 0 {
+	if _, f := unpackFlag(b.ownerPublishAndCheck()); f == 0 {
 		return // fast path: in the critical section with flag0.f = 1
 	}
 	b.revocations.Add(1)
@@ -95,30 +118,70 @@ func (b *FFBL) OwnerUnlock() {
 	}
 }
 
+// otherAnnounce is the revocation announcement (Figure 3h, lines 2–4):
+// bump flag1 to a fresh raised version and fence, so the announcement
+// is globally visible before the wait begins. Reader step 1 of the
+// `ffbl` pair.
+//
+//tbtso:verify pair=ffbl role=reader step=1
+//tbtso:requires-fence
+func (b *FFBL) otherAnnounce() uint64 {
+	v1, _ := unpackFlag(b.flag1.v.Load())
+	myV := v1 + 1
+	b.flag1.v.Store(packFlag(myV, 1)) //tbtso:model val=1
+	b.fen1.Full()
+	return myV
+}
+
+// otherWaitBound waits out the visibility bound for time t0: after it
+// returns, every store the owner issued before our announcement became
+// visible has itself drained — the §3 "wait Δ time units". Reader
+// step 2 of the `ffbl` pair; the spin is extracted as a Wait op.
+//
+//tbtso:verify pair=ffbl role=reader step=2
+func (b *FFBL) otherWaitBound(t0 int64) {
+	for spins := 0; !b.bound.Eligible(t0); spins++ {
+		if spins%16 == 15 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// otherProbeOwner reads the owner's flag once and reports whether the
+// owner is out of the critical section (flag0.f == 0). Reader step 3
+// of the `ffbl` pair: by the time this load runs, the Δ bound
+// guarantees the owner's unfenced raise is visible if it happened
+// before our announcement landed.
+//
+//tbtso:verify pair=ffbl role=reader step=3
+func (b *FFBL) otherProbeOwner() bool {
+	_, f := unpackFlag(b.flag0.v.Load())
+	return f == 0
+}
+
 // OtherLock implements BiasedLock (Figure 3h).
 //
 //tbtso:requires-fence
 func (b *FFBL) OtherLock() {
 	b.l.Lock()
 	b.transfers.Add(1)
-	v1, _ := unpackFlag(b.flag1.v.Load())
-	myV := v1 + 1
-	b.flag1.v.Store(packFlag(myV, 1))
-	b.fen1.Full()
+	myV := b.otherAnnounce()
 	t0 := vclock.Now()
-	for spins := 0; !b.bound.Eligible(t0); spins++ {
-		if b.echo {
+	if b.echo {
+		for spins := 0; !b.bound.Eligible(t0); spins++ {
 			if v0, _ := unpackFlag(b.flag0.v.Load()); v0 == myV {
 				b.echoes.Add(1)
 				break // owner echoed: it is spinning on L, not in the CS
 			}
+			if spins%16 == 15 {
+				runtime.Gosched()
+			}
 		}
-		if spins%16 == 15 {
-			runtime.Gosched()
-		}
+	} else {
+		b.otherWaitBound(t0)
 	}
 	for spins := 0; ; spins++ {
-		if _, f := unpackFlag(b.flag0.v.Load()); f == 0 {
+		if b.otherProbeOwner() {
 			return
 		}
 		if spins%16 == 15 {

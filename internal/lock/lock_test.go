@@ -252,3 +252,26 @@ func TestBoundsAreUsable(t *testing.T) {
 		t.Fatal("not eligible after Wait")
 	}
 }
+
+// TestPlantedPlainTSO exercises the planted plain-TSO negative control
+// so the functions tbtso-verify certifies-to-fail stay compiled and
+// behaviorally pinned. Go atomics are sequentially consistent, so run
+// SEQUENTIALLY the broken protocol looks fine — each side sees the
+// other's raised flag; the store-buffering overlap only exists under
+// TSO, which is exactly what cmd/tbtso-verify's model-checking of the
+// extracted pair (certs/ffbl-tso.json) demonstrates.
+func TestPlantedPlainTSO(t *testing.T) {
+	lk := NewFFBL(core.NewFixedDelta(time.Millisecond), false)
+	if w := lk.plainTSOOwnerEnter(); w != 0 {
+		t.Fatalf("owner on a fresh lock sees flag1 = %#x, want 0", w)
+	}
+	if _, f := unpackFlag(lk.flag0.v.Load()); f != 1 {
+		t.Fatal("owner enter did not raise flag0")
+	}
+	if w := lk.plainTSORevokerProbe(); w != packFlag(0, 1) {
+		t.Fatalf("revoker probing after the owner entered sees flag0 = %#x, want raised (%#x)", w, packFlag(0, 1))
+	}
+	if _, f := unpackFlag(lk.flag1.v.Load()); f != 1 {
+		t.Fatal("revoker probe did not raise flag1")
+	}
+}

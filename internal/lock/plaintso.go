@@ -1,0 +1,44 @@
+package lock
+
+// This file is tbtso-verify's planted negative control: the FFBL
+// protocol with the visibility wait deleted, i.e. the Figure 3e race
+// run on plain TSO. The owner raises flag0 and validates flag1 with no
+// fence (as in the real fast path), but the revoker probes flag0
+// immediately after its fenced announcement instead of waiting out Δ.
+// Under unbounded TSO the owner's raise can hide in its store buffer
+// across the revoker's entire announce–probe window, so both sides
+// observe the other's flag down and both enter the critical section.
+//
+// The pair is annotated expect=fail: tbtso-verify must REFUTE it at
+// Δ=0 and emit a concrete counterexample (machine witness, Perfetto
+// trace, replayable artifact). If the tool ever certifies this pair,
+// the extraction or the checker has lost the violation class — exactly
+// what a negative control exists to catch. TestPlantedPlainTSO keeps
+// the code exercised so it cannot rot.
+//
+//tbtso:property pair=ffbl-tso expect=fail forbid writer.flag1.v == 0 && reader.flag0.v == 0
+
+// plainTSOOwnerEnter is the owner fast path of the broken variant —
+// identical in shape to ownerPublishAndCheck: raise flag0, validate
+// flag1, no fence. Returns the raw flag1 word; 0 means "enter".
+//
+//tbtso:verify pair=ffbl-tso role=writer
+//tbtso:fencefree
+func (b *FFBL) plainTSOOwnerEnter() uint64 {
+	b.flag0.v.Store(packFlag(0, 1)) //tbtso:model val=1
+	// no fence — and, fatally, no Δ bound on the other side either.
+	return b.flag1.v.Load()
+}
+
+// plainTSORevokerProbe is the broken revocation: announce and fence as
+// the real slow path does, then probe the owner's flag IMMEDIATELY —
+// the otherWaitBound step is missing. Returns the raw flag0 word; 0
+// means "revoked, enter".
+//
+//tbtso:verify pair=ffbl-tso role=reader
+//tbtso:requires-fence
+func (b *FFBL) plainTSORevokerProbe() uint64 {
+	b.flag1.v.Store(packFlag(1, 1)) //tbtso:model val=1
+	b.fen1.Full()
+	return b.flag0.v.Load()
+}

@@ -36,6 +36,13 @@ func packFlag(v tso.Word, f tso.Word) tso.Word { return v<<1 | (f & 1) }
 
 func unpackFlag(w tso.Word) (v, f tso.Word) { return w >> 1, w & 1 }
 
+// The `ffbl-mach` verification pair is the machine-memory twin of
+// lock's `ffbl` pair, with the reader replicated (copies=2) so the
+// certificate also exercises mc's symmetry reduction: forbidden is any
+// revoker entering while the owner's fast path validated flag1 down.
+//
+//tbtso:property pair=ffbl-mach forbid writer.flag1 == 0 && reader.flag0 == 0
+
 // FFBL is the fence-free biased lock of Figure 3 (bottom row) expressed
 // as machine programs. The owner's lock() issues no fence and no atomic
 // operation on the fast path; the non-owner serializes behind the
@@ -98,6 +105,20 @@ func (b *FFBL) boundPassed(th *tso.Thread, t0 uint64) bool {
 	return th.Clock() > t0+b.delta
 }
 
+// ownerPublishAndCheck is the owner fast path's protocol kernel: raise
+// flag0 with a plain machine store, then read flag1 with no fence in
+// between. The machine-memory twin of lock.FFBL's helper of the same
+// name; tbtso-verify extracts it as the writer side of the `ffbl-mach`
+// pair (see docs/VERIFY.md).
+//
+//tbtso:verify pair=ffbl-mach role=writer
+//tbtso:fencefree
+func (b *FFBL) ownerPublishAndCheck(th *tso.Thread) tso.Word {
+	th.Store(b.flag0, packFlag(0, 1)) //tbtso:model val=1
+	// no fence (the whole point)
+	return th.Load(b.flag1)
+}
+
 // OwnerLock is Figure 3f: raise flag0 with no fence; if flag1 is down,
 // enter immediately (the common case). Otherwise lower flag0 — echoing
 // flag1's version so the non-owner can cut its Δ wait short — and spin
@@ -105,9 +126,7 @@ func (b *FFBL) boundPassed(th *tso.Thread, t0 uint64) bool {
 //
 //tbtso:fencefree
 func (b *FFBL) OwnerLock(th *tso.Thread) {
-	th.Store(b.flag0, packFlag(0, 1))
-	// no fence (the whole point)
-	if _, f := unpackFlag(th.Load(b.flag1)); f == 0 {
+	if _, f := unpackFlag(b.ownerPublishAndCheck(th)); f == 0 {
 		return // fast path: critical section entered with flag0.f = 1
 	}
 	for {
@@ -138,6 +157,41 @@ func (b *FFBL) OwnerUnlock(th *tso.Thread) {
 	}
 }
 
+// otherAnnounce raises a fresh version of flag1 and fences (Figure 3h,
+// lines 2–4), making the revocation announcement globally visible
+// before the wait begins. Reader step 1 of the `ffbl-mach` pair.
+//
+//tbtso:verify pair=ffbl-mach role=reader step=1 copies=2
+//tbtso:requires-fence
+func (b *FFBL) otherAnnounce(th *tso.Thread) tso.Word {
+	v1, _ := unpackFlag(th.Load(b.flag1))
+	myV := v1 + 1
+	th.Store(b.flag1, packFlag(myV, 1)) //tbtso:model val=1
+	th.Fence()
+	return myV
+}
+
+// otherWaitDelta spins out the Δ bound from t0: any store the owner
+// buffered before our announcement committed has drained by the time
+// this returns. Reader step 2 of the `ffbl-mach` pair; the clock spin
+// is extracted as a Wait op.
+//
+//tbtso:verify pair=ffbl-mach role=reader step=2
+func (b *FFBL) otherWaitDelta(th *tso.Thread, t0 uint64) {
+	for th.Clock() <= t0+b.delta { //tbtso:model wait
+	}
+}
+
+// otherProbeOwner reads the owner's flag once and reports whether the
+// owner is out of the critical section. Reader step 3 of the
+// `ffbl-mach` pair.
+//
+//tbtso:verify pair=ffbl-mach role=reader step=3
+func (b *FFBL) otherProbeOwner(th *tso.Thread) bool {
+	_, f := unpackFlag(th.Load(b.flag0))
+	return f == 0
+}
+
 // OtherLock is Figure 3h: acquire L, raise a new version of flag1,
 // fence, then wait until Δ ticks pass or the owner echoes our version;
 // finally wait for flag0.f = 0.
@@ -145,22 +199,27 @@ func (b *FFBL) OwnerUnlock(th *tso.Thread) {
 //tbtso:requires-fence
 func (b *FFBL) OtherLock(th *tso.Thread) {
 	b.l.Lock(th)
-	v1, _ := unpackFlag(th.Load(b.flag1))
-	myV := v1 + 1
-	th.Store(b.flag1, packFlag(myV, 1))
-	th.Fence()
+	myV := b.otherAnnounce(th)
 	now := th.Clock()
-	for {
-		if b.boundPassed(th, now) {
-			break
-		}
-		v0, _ := unpackFlag(th.Load(b.flag0))
-		if v0 == myV {
-			break // owner echoed: it is waiting on L, not in the CS
+	if !b.echo && b.board == 0 {
+		// No echo to watch for and a plain Δ bound: the wait is the
+		// extracted protocol step verbatim. (With echo disabled the
+		// owner only ever writes version 0 to flag0 and myV ≥ 1, so the
+		// echo check below could never fire anyway.)
+		b.otherWaitDelta(th, now)
+	} else {
+		for {
+			if b.boundPassed(th, now) {
+				break
+			}
+			v0, _ := unpackFlag(th.Load(b.flag0))
+			if v0 == myV {
+				break // owner echoed: it is waiting on L, not in the CS
+			}
 		}
 	}
 	for {
-		if _, f := unpackFlag(th.Load(b.flag0)); f == 0 {
+		if b.otherProbeOwner(th) {
 			return
 		}
 	}

@@ -30,6 +30,16 @@ type hpThread struct {
 	_       [8]byte
 }
 
+// The `ffhp` verification pair (docs/VERIFY.md): the writer is a
+// reader-side thread doing the fence-free protect (plain store of the
+// hazard pointer) followed by the validation load of the link word; the
+// reader is a reclaiming thread doing the removal CAS, the Δ wait, and
+// the hazard-pointer scan. Forbidden is the §4 scan miss — the writer
+// validated against the pre-removal link while the reclaimer's scan saw
+// the hazard slot still empty.
+//
+//tbtso:property pair=ffhp forbid writer.link == 0 && reader.slots.h == 0
+
 // HazardPointers implements standard HP (Figure 2a) and FFHP
 // (Figure 2b) behind one type:
 //
@@ -144,11 +154,15 @@ func (hp *HazardPointers) Protect(tid, slot int, h arena.Handle) bool {
 
 // protectFenceFree is FFHP's publication (Figure 2b): a plain store
 // with no serializing instruction — the fast-path saving the whole
-// paper is about. Sound only under a visibility bound.
+// paper is about. Sound only under a visibility bound. Writer step 1
+// of the `ffhp` verification pair (docs/VERIFY.md); Validate is
+// step 2, and together they are the protect→validate store/load pair
+// whose soundness tbtso-verify certifies under mc's TBTSO[Δ] sweep.
 //
+//tbtso:verify pair=ffhp role=writer step=1
 //tbtso:fencefree
 func (hp *HazardPointers) protectFenceFree(tid, slot int, h arena.Handle) {
-	hp.slots[tid*hp.k+slot].h.Store(uint64(h))
+	hp.slots[tid*hp.k+slot].h.Store(uint64(h)) //tbtso:model val=1
 }
 
 // protectFenced is standard HP's publication (Figure 2a): the fence
@@ -224,7 +238,7 @@ func (hp *HazardPointers) reclaim(tid int) {
 	t.scans++
 	t.plist = t.plist[:0]
 	for i := range hp.slots {
-		if v := hp.slots[i].h.Load(); v != 0 {
+		if v := hp.scanSlot(i); v != 0 {
 			t.plist = append(t.plist, v)
 		}
 	}
@@ -271,6 +285,27 @@ func (hp *HazardPointers) reclaim(tid int) {
 	t.rcount.Store(int64(len(kept)))
 }
 
+// scanSlot reads one hazard slot during reclaim's snapshot (Figure 2
+// line 46, ascending slot order). Reader step 3 of the `ffhp` pair: by
+// the time the scan runs, waitRetired has burned out Δ, so a protect
+// store issued before the removal became visible has drained.
+//
+//tbtso:verify pair=ffhp role=reader step=3
+func (hp *HazardPointers) scanSlot(i int) uint64 {
+	return hp.slots[i].h.Load()
+}
+
+// waitRetired waits out the visibility bound for a node retired at
+// time t (Figure 2b line 45's cutoff, in blocking form): after it
+// returns, every protect store issued before the node's removal became
+// visible is itself visible. Reader step 2 of the `ffhp` pair; the
+// bound wait is extracted as a Wait op.
+//
+//tbtso:verify pair=ffhp role=reader step=2
+func (hp *HazardPointers) waitRetired(t int64) {
+	hp.bound.Wait(t)
+}
+
 func (hp *HazardPointers) protected(plist []uint64, h arena.Handle) bool {
 	v := uint64(h)
 	i := sort.Search(len(plist), func(i int) bool { return plist[i] >= v })
@@ -294,8 +329,7 @@ func (hp *HazardPointers) Flush(tid int) {
 		return
 	}
 	if hp.bound != nil {
-		newest := t.entries[len(t.entries)-1].t
-		hp.bound.Wait(newest)
+		hp.waitRetired(t.entries[len(t.entries)-1].t)
 	}
 	before := -1
 	for len(t.entries) > 0 && len(t.entries) != before {

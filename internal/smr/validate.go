@@ -1,0 +1,36 @@
+package smr
+
+import "sync/atomic"
+
+// This file holds the two link-word primitives of the paper's §4
+// protect/retire protocol that live on the DATA STRUCTURE side rather
+// than inside the scheme: validating a traversal source after a
+// protect, and the removal CAS that precedes Retire. Data structures
+// (internal/list, and the hash table through it) call these instead of
+// raw atomics so the protocol steps are named, annotated, and
+// extractable by tbtso-verify as the `ffhp` pair (docs/VERIFY.md).
+
+// Validate re-reads a link word after a hazard-pointer publication and
+// reports whether it still holds want — Figure 1's "validate *prev"
+// (lines 33/36/38). For FFHP the preceding protect store is unfenced,
+// so this load may execute while the publication is still buffered;
+// the §4.2 argument that reclaimers cannot miss it anyway is exactly
+// what the `ffhp` certificate checks. Writer step 2 of that pair.
+//
+//tbtso:verify pair=ffhp role=writer step=2
+//tbtso:fencefree
+func Validate(link *atomic.Uint64, want uint64) bool {
+	return link.Load() == want
+}
+
+// PublishLink CASes a link word from old to new, publishing a
+// structural update. For removals (unlink before Retire) the x86 LOCK
+// semantics of the CAS make the removal globally visible before the
+// retire — the §4.2 precondition the Δ-bound argument starts from.
+// Reader step 1 of the `ffhp` pair: the checker models the successful
+// CAS as a serializing RMW.
+//
+//tbtso:verify pair=ffhp role=reader step=1
+func PublishLink(link *atomic.Uint64, old, new uint64) bool {
+	return link.CompareAndSwap(old, new) //tbtso:model val=1
+}
