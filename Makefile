@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint verify test race check bench mc-bench fuzz-smoke figures figures-quick demos clean
+.PHONY: all build vet lint verify test race check bench bench-compare mc-bench fuzz-smoke obs-smoke figures figures-quick demos clean
 
 all: build lint test
 
@@ -36,6 +36,19 @@ check: build lint test race verify
 # testing.B versions of every figure + micro/ablation benches.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Figure-JSON regression gate: diff the committed mc baseline against
+# itself (structure/codec sanity). Against a fresh run:
+#   go run ./cmd/tbtso-bench -figure mc -json > new.json
+#   go run ./cmd/tbtso-bench -compare BENCH_mc.json new.json
+bench-compare:
+	$(GO) run ./cmd/tbtso-bench -compare BENCH_mc.json BENCH_mc.json
+
+# Observability smoke: a short monitored litmus sweep with the live ops
+# endpoint up; the Prometheus scrape must show zero Δ-residency
+# violations (docs/OBSERVABILITY.md). CI runs the same sequence.
+obs-smoke:
+	./scripts/obs-smoke.sh
 
 # Model-checker explorer smoke benchmarks: one iteration of each
 # engine/program/Δ cell (sequential vs parallel vs reductions-off).

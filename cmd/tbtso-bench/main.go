@@ -23,7 +23,7 @@ import (
 	"time"
 
 	"tbtso/internal/bench"
-	"tbtso/internal/obs"
+	"tbtso/internal/obs/serve"
 	"tbtso/internal/quiesce"
 	"tbtso/internal/report"
 )
@@ -43,8 +43,17 @@ func main() {
 		metrics = flag.Bool("metrics", false, "print the harness metrics registry to stderr after the run")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile (post-GC) to this file at exit")
+		compare = flag.String("compare", "", "compare this baseline figure-JSON document against the candidate document named by the positional argument and exit non-zero on regression")
+		cmpTime = flag.Float64("compare.time", 0, "time-regression ratio for -compare (default 2.0)")
+		cmpStat = flag.Float64("compare.states", 0, "states-regression ratio for -compare (default 1.5)")
 	)
+	var obsOpts serve.Options
+	obsOpts.Register(flag.CommandLine)
 	flag.Parse()
+
+	if *compare != "" {
+		os.Exit(runCompare(*compare, flag.Arg(0), bench.CompareOptions{TimeRatio: *cmpTime, StatesRatio: *cmpStat}))
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -100,11 +109,14 @@ func main() {
 		Quick:       *quick,
 		MCMaxStates: *mcMax,
 	}
-	var reg *obs.Registry
-	if *metrics {
-		reg = obs.NewRegistry()
-		o.Metrics = reg
+	sess, err := obsOpts.Start(nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obs: %v\n", err)
+		os.Exit(1)
 	}
+	// The harness metrics feed the live ops endpoint; -metrics
+	// additionally prints them at exit.
+	o.Metrics = sess.Registry
 
 	// With -json, tables are collected and emitted as one document at
 	// the end; progress/timing stays on stderr so stdout parses clean.
@@ -181,7 +193,47 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if reg != nil {
-		reg.WriteText(os.Stderr)
+	if *metrics {
+		sess.Registry.WriteText(os.Stderr)
 	}
+	if n := sess.Finish(os.Stderr, "tbtso-bench"); n > 0 {
+		os.Exit(1)
+	}
+}
+
+// runCompare diffs the candidate figure-JSON document against the
+// baseline and reports regressions; it returns the process exit code.
+func runCompare(baselinePath, candidatePath string, opts bench.CompareOptions) int {
+	if candidatePath == "" {
+		fmt.Fprintln(os.Stderr, "usage: tbtso-bench -compare baseline.json candidate.json")
+		return 2
+	}
+	read := func(path string) (*bench.FigureDoc, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return bench.ReadFigureDoc(f)
+	}
+	baseline, err := read(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+		return 2
+	}
+	candidate, err := read(candidatePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+		return 2
+	}
+	regs := bench.Compare(baseline, candidate, opts)
+	if len(regs) == 0 {
+		fmt.Printf("compare: %s vs %s: no regressions\n", baselinePath, candidatePath)
+		return 0
+	}
+	for _, r := range regs {
+		fmt.Printf("REGRESSION %s\n", r)
+	}
+	fmt.Printf("compare: %d regressions\n", len(regs))
+	return 1
 }

@@ -28,6 +28,7 @@ import (
 
 	"tbtso/internal/fuzz"
 	"tbtso/internal/obs"
+	"tbtso/internal/obs/serve"
 	"tbtso/internal/tso"
 )
 
@@ -49,16 +50,23 @@ func main() {
 		metrics    = flag.Bool("metrics", false, "print the obs metrics registry to stderr")
 		verbose    = flag.Bool("v", false, "log each mismatch and shrink as it happens")
 	)
+	var obsOpts serve.Options
+	obsOpts.Register(flag.CommandLine)
 	flag.Parse()
 
-	reg := obs.NewRegistry()
+	sess, err := obsOpts.Start(nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obs:", err)
+		os.Exit(1)
+	}
+	reg := sess.Registry
 	cfg := fuzz.Config{
 		MachSeeds:        *machSeeds,
 		MaxStates:        *maxStates,
 		CrossCheckStates: *crossCheck,
 		Metrics:          reg,
+		Sinks:            sess.Sinks(),
 	}
-	var err error
 	if cfg.Deltas, err = parseDeltas(*deltasStr); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -68,14 +76,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	code := 0
 	switch {
 	case *replay != "":
-		os.Exit(replayArtifact(*replay, *jsonOut))
+		code = replayArtifact(*replay, *jsonOut)
 	case *plant:
-		os.Exit(runPlanted(cfg, reg, *outDir, *shrinkMax, *jsonOut, *metrics))
+		code = runPlanted(cfg, reg, *outDir, *shrinkMax, *jsonOut, *metrics)
 	default:
-		os.Exit(runCampaign(cfg, reg, *n, *seed, *timeBudget, *shrinkMax, *outDir, *jsonOut, *metrics, *verbose))
+		code = runCampaign(cfg, reg, *n, *seed, *timeBudget, *shrinkMax, *outDir, *jsonOut, *metrics, *verbose)
 	}
+	if n := sess.Finish(os.Stderr, "tbtso-fuzz"); n > 0 && code == 0 {
+		code = 1
+	}
+	os.Exit(code)
 }
 
 // parseDeltas accepts "0,1,3,inf": "inf"/"∞" is the unbounded sweep

@@ -19,6 +19,7 @@ import (
 	"tbtso/internal/litmus"
 	"tbtso/internal/machalg"
 	"tbtso/internal/mc"
+	"tbtso/internal/obs/serve"
 	"tbtso/internal/tso"
 )
 
@@ -32,23 +33,40 @@ func main() {
 		demo  = flag.String("demo", "", "run a soundness demo: reclaim or deque")
 		exh   = flag.Bool("exhaustive", false, "enumerate ALL executions of the canonical programs with the model checker")
 	)
+	var obsOpts serve.Options
+	obsOpts.Register(flag.CommandLine)
 	flag.Parse()
+
+	sess, err := obsOpts.Start(nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obs: %v\n", err)
+		os.Exit(1)
+	}
+	// finish reports monitor violations (folding them into the exit
+	// code), dumps the flight artifact, and stops the ops endpoint.
+	finish := func() {
+		if n := sess.Finish(os.Stderr, "tbtso-sim"); n > 0 {
+			os.Exit(1)
+		}
+	}
 
 	if *exh {
 		exhaustive()
+		finish()
 		return
 	}
 
 	if *demo != "" {
 		switch *demo {
 		case "reclaim":
-			demoReclaim()
+			demoReclaim(sess.Sinks())
 		case "deque":
 			demoDeque()
 		default:
 			fmt.Fprintf(os.Stderr, "unknown demo %q (reclaim, deque)\n", *demo)
 			os.Exit(2)
 		}
+		finish()
 		return
 	}
 
@@ -69,6 +87,7 @@ func main() {
 			Seeds:     *seeds,
 			Delta:     d,
 			StallProb: *stall,
+			Sinks:     sess.Sinks(),
 		})
 		fmt.Printf("%s  [Δ=%d]\n  %s\n", t.Name, d, t.Doc)
 		fmt.Print(indent(rep.String()))
@@ -103,6 +122,7 @@ func main() {
 		}
 		os.Exit(2)
 	}
+	finish()
 }
 
 // exhaustive enumerates every execution of the canonical litmus
@@ -158,8 +178,10 @@ func exhaustive() {
 
 // demoReclaim prints the §4 soundness matrix live: the directed
 // reclamation race under every combination of fence / Δ-deferral /
-// memory model.
-func demoReclaim() {
+// memory model. Any sinks (the -obs.monitor flight recorder) are
+// attached to every machine — note the matrix deliberately includes
+// unsound rows, so monitored runs WILL report violations there.
+func demoReclaim(sinks []tso.Sink) {
 	fmt.Println("§4 reclamation race: reader protects a node, reclaimer frees it")
 	fmt.Println("(machine: adversarial drains; UAF = use-after-free detected)")
 	fmt.Println()
@@ -175,7 +197,7 @@ func demoReclaim() {
 		{"FFHP (Δ-deferred)       on TBTSO[400]", 400, machalg.HPFenceFree},
 	}
 	for _, r := range rows {
-		out := machalg.ReclaimRaceDemo(r.delta, r.mode)
+		out := machalg.ReclaimRaceDemo(r.delta, r.mode, sinks...)
 		verdict := "SAFE"
 		if out.UseAfterFree {
 			verdict = "USE-AFTER-FREE"

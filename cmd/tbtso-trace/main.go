@@ -23,6 +23,7 @@ import (
 	"tbtso/internal/litmus"
 	"tbtso/internal/machalg"
 	"tbtso/internal/obs"
+	"tbtso/internal/obs/serve"
 	"tbtso/internal/tso"
 )
 
@@ -36,6 +37,8 @@ func main() {
 		out    = flag.String("o", "trace.json", "output trace file")
 		list   = flag.Bool("list", false, "list the available litmus tests and exit")
 	)
+	var obsOpts serve.Options
+	obsOpts.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -68,9 +71,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	reg := obs.NewRegistry()
+	sess, err := obsOpts.Start(nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obs:", err)
+		os.Exit(1)
+	}
+	reg := sess.Registry
 	perf := obs.NewPerfetto()
-	sinks := []tso.Sink{perf, obs.NewMachineMetrics(reg)}
+	sinks := append([]tso.Sink{perf, obs.NewMachineMetrics(reg)}, sess.Sinks()...)
 
 	switch {
 	case *test != "":
@@ -97,6 +105,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	defer func() {
+		if n := sess.Finish(os.Stderr, "tbtso-trace"); n > 0 {
+			os.Exit(1)
+		}
+	}()
 	if err := perf.WriteJSON(f); err == nil {
 		err = f.Close()
 	}

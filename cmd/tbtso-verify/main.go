@@ -35,6 +35,7 @@ import (
 
 	"tbtso/internal/analysis"
 	"tbtso/internal/analysis/extract"
+	"tbtso/internal/obs/serve"
 )
 
 func main() {
@@ -50,6 +51,8 @@ func run() int {
 	formatFlag := flag.String("format", "text", "output format: text or json")
 	suggest := flag.Bool("suggest-fences", false, "for violated pairs, search minimal fence insertions restoring plain-TSO soundness")
 	replay := flag.String("replay", "", "counterexample artifact to re-validate")
+	var obsOpts serve.Options
+	obsOpts.Register(flag.CommandLine)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: tbtso-verify [-C dir] [-certdir dir] [-update] [-sweep N] [-maxstates N] [-format text|json] [-suggest-fences] [-replay file] [package patterns]\n")
 		flag.PrintDefaults()
@@ -60,6 +63,15 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "tbtso-verify: unknown format %q (valid: text, json)\n", *formatFlag)
 		return 2
 	}
+
+	// The ops endpoint gives long certification sweeps a pprof and
+	// metrics surface; the checker itself runs no monitored machines.
+	sess, err := obsOpts.Start(nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tbtso-verify:", err)
+		return 2
+	}
+	defer sess.Finish(os.Stderr, "tbtso-verify")
 
 	pkgs, root, err := analysis.LoadModule(*dirFlag, flag.Args()...)
 	if err != nil {

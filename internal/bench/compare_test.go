@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"tbtso/internal/report"
+)
+
+func compareFixture() *FigureDoc {
+	t := report.NewTable("Model checker: explorer engines (states, time, speedup)",
+		"program", "Δ", "engine", "states", "outcomes", "time", "states/s", "speedup")
+	t.AddRow("SB", "0", "sequential", "34", "4", "270µs", "126036", "1.0x")
+	t.AddRow("SB", "0", "parallel", "32", "4", "92µs", "349059", "2.9x")
+	t.AddRow("MP", "2", "sequential", "64", "3", "373µs", "171569", "1.0x")
+	return &FigureDoc{Figures: []*report.Table{t}}
+}
+
+// reparse round-trips a doc through JSON, mimicking the real read path
+// (and proving report.Table.UnmarshalJSON works).
+func reparse(t *testing.T, doc *FigureDoc) *FigureDoc {
+	t.Helper()
+	var buf bytes.Buffer
+	for i, tb := range doc.Figures {
+		if i == 0 {
+			buf.WriteString(`{"figures":[`)
+		} else {
+			buf.WriteString(",")
+		}
+		b, err := tb.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(b)
+	}
+	buf.WriteString("]}")
+	out, err := ReadFigureDoc(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestCompareSelfIsClean(t *testing.T) {
+	doc := reparse(t, compareFixture())
+	if regs := Compare(doc, doc, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("self-compare flagged: %v", regs)
+	}
+}
+
+func TestCompareCommittedBaselineAgainstItself(t *testing.T) {
+	f, err := os.Open("../../BENCH_mc.json")
+	if err != nil {
+		t.Skipf("no committed baseline: %v", err)
+	}
+	defer f.Close()
+	doc, err := ReadFigureDoc(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := Compare(doc, doc, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("BENCH_mc.json vs itself flagged: %v", regs)
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := reparse(t, compareFixture())
+
+	doctor := func(mutate func(*report.Table)) *FigureDoc {
+		cand := reparse(t, compareFixture())
+		mutate(cand.Figures[0])
+		return reparse(t, cand)
+	}
+	setCell := func(tb *report.Table, row, col int, v string) {
+		tb.Rows()[row][col] = v
+	}
+
+	cases := []struct {
+		name   string
+		cand   *FigureDoc
+		column string
+		detail string
+	}{
+		{"time blowup", doctor(func(tb *report.Table) { setCell(tb, 0, 5, "2ms") }), "time", "time regressed"},
+		{"states blowup", doctor(func(tb *report.Table) { setCell(tb, 1, 3, "480") }), "states", "states regressed"},
+		{"outcomes changed", doctor(func(tb *report.Table) { setCell(tb, 2, 4, "4") }), "outcomes", "correctness"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			regs := Compare(base, tc.cand, CompareOptions{})
+			if len(regs) != 1 {
+				t.Fatalf("got %d regressions: %v", len(regs), regs)
+			}
+			if regs[0].Column != tc.column || !strings.Contains(regs[0].Detail, tc.detail) {
+				t.Fatalf("wrong regression: %+v", regs[0])
+			}
+		})
+	}
+
+	// Within-threshold drift must NOT be flagged.
+	okDrift := doctor(func(tb *report.Table) {
+		setCell(tb, 0, 5, "400µs") // 1.48x < 2x
+		setCell(tb, 1, 3, "40")    // 1.25x < 1.5x
+	})
+	if regs := Compare(base, okDrift, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("within-threshold drift flagged: %v", regs)
+	}
+
+	// Missing row and missing figure are structural regressions.
+	missingRow := &FigureDoc{Figures: []*report.Table{
+		report.NewTable(base.Figures[0].Title, base.Figures[0].Headers...),
+	}}
+	if regs := Compare(base, reparse(t, missingRow), CompareOptions{}); len(regs) != 3 {
+		t.Fatalf("missing rows: got %v", regs)
+	}
+	empty := &FigureDoc{Figures: []*report.Table{report.NewTable("other figure", "a")}}
+	regs := Compare(base, reparse(t, empty), CompareOptions{})
+	if len(regs) != 1 || !strings.Contains(regs[0].Detail, "figure missing") {
+		t.Fatalf("missing figure: got %v", regs)
+	}
+}
+
+func TestCompareTruncatedCellsNotFlagged(t *testing.T) {
+	base := reparse(t, compareFixture())
+	cand := reparse(t, compareFixture())
+	cand.Figures[0].Rows()[0][3] = "(truncated)"
+	cand.Figures[0].Rows()[0][5] = "-"
+	if regs := Compare(base, reparse(t, cand), CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("unparseable cells flagged: %v", regs)
+	}
+}

@@ -36,6 +36,10 @@ type Config struct {
 	// Metrics, if non-nil, receives fuzz.* counters: programs, runs,
 	// explorations, truncated, mismatches.
 	Metrics *obs.Registry
+	// Sinks are attached to every sampled machine run — e.g. the
+	// obs/monitor online checkers, so a campaign's machine side runs
+	// under continuous Δ-residency verification.
+	Sinks []tso.Sink
 }
 
 func (c Config) orDefault() Config {
@@ -224,7 +228,7 @@ func CheckProgram(cfg Config, p mc.Program, seed int64) Report {
 				machSeed := seed*1000003 + int64(pi)*101 + int64(i)
 				rep.Runs++
 				cfg.count("fuzz.runs", 1)
-				outcome, err := RunOnMachine(p, MachineRun{Delta: machDelta, Policy: pol, Seed: machSeed})
+				outcome, err := RunOnMachine(p, MachineRun{Delta: machDelta, Policy: pol, Seed: machSeed}, cfg.Sinks...)
 				if err != nil {
 					rep.Mismatches = append(rep.Mismatches, Mismatch{
 						Kind: KindMachineError, Seed: seed, Delta: delta, Cover: cover,

@@ -90,6 +90,10 @@ type RunConfig struct {
 	StallProb float64
 	// MaxTicks caps each execution (0 = machine default).
 	MaxTicks uint64
+	// Sinks are attached to every machine the runner creates — e.g.
+	// the obs/monitor online checkers, so a whole litmus sweep runs
+	// under continuous Δ-residency verification.
+	Sinks []tso.Sink
 }
 
 // Report aggregates the outcomes of an exploration.
@@ -179,6 +183,7 @@ func Run(t Test, cfg RunConfig) Report {
 				Seed:      int64(s),
 				StallProb: cfg.StallProb,
 				MaxTicks:  cfg.MaxTicks,
+				Sinks:     cfg.Sinks,
 			})
 			if err != nil {
 				rep.Errs = append(rep.Errs, fmt.Errorf("policy=%v seed=%d: %w", p, s, err))

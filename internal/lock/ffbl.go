@@ -1,12 +1,14 @@
 package lock
 
 import (
+	"fmt"
 	"runtime"
 	"sync/atomic"
 
 	"tbtso/internal/core"
 	"tbtso/internal/fence"
 	"tbtso/internal/obs"
+	"tbtso/internal/obs/monitor"
 	"tbtso/internal/vclock"
 )
 
@@ -43,12 +45,16 @@ type FFBL struct {
 	// counts owner acquisitions that fell back to the internal lock
 	// (the bias was revoked by a concurrent non-owner); transfers
 	// counts non-owner acquisitions (each is one bias transfer through
-	// L); echoes counts non-owner waits cut short by the owner's echo.
+	// L); echoes counts non-owner waits cut short by the owner's echo;
+	// fullWaits counts non-owner acquisitions that waited out the
+	// whole visibility bound (every transfer is one or the other —
+	// the invariant VerifyAccounting checks).
 	revocations atomic.Uint64
 	transfers   atomic.Uint64
 	echoes      atomic.Uint64
+	fullWaits   atomic.Uint64
 
-	pub struct{ revocations, transfers, echoes obs.Publisher }
+	pub struct{ revocations, transfers, echoes, fullWaits obs.Publisher }
 }
 
 // NewFFBL creates a fence-free biased lock over the given bound.
@@ -168,17 +174,23 @@ func (b *FFBL) OtherLock() {
 	myV := b.otherAnnounce()
 	t0 := vclock.Now()
 	if b.echo {
+		echoed := false
 		for spins := 0; !b.bound.Eligible(t0); spins++ {
 			if v0, _ := unpackFlag(b.flag0.v.Load()); v0 == myV {
 				b.echoes.Add(1)
+				echoed = true
 				break // owner echoed: it is spinning on L, not in the CS
 			}
 			if spins%16 == 15 {
 				runtime.Gosched()
 			}
 		}
+		if !echoed {
+			b.fullWaits.Add(1)
+		}
 	} else {
 		b.otherWaitBound(t0)
+		b.fullWaits.Add(1)
 	}
 	for spins := 0; ; spins++ {
 		if b.otherProbeOwner() {
@@ -209,6 +221,28 @@ func (b *FFBL) Transfers() uint64 { return b.transfers.Load() }
 // Echoes reports non-owner waits the owner's echo cut short.
 func (b *FFBL) Echoes() uint64 { return b.echoes.Load() }
 
+// FullWaits reports non-owner acquisitions that waited out the whole
+// visibility bound (no echo arrived, or echoing is off).
+func (b *FFBL) FullWaits() uint64 { return b.fullWaits.Load() }
+
+// VerifyAccounting checks the revocation-wait bookkeeping: every bias
+// transfer either was echoed out of its wait or waited the bound in
+// full, so echoes + fullWaits must equal transfers. Call it at
+// quiescence (no acquisition in flight); mid-acquisition the counters
+// are transiently inconsistent by design. Returns nil when the books
+// balance, one monitor violation otherwise.
+func (b *FFBL) VerifyAccounting() []monitor.Violation {
+	t, e, f := b.transfers.Load(), b.echoes.Load(), b.fullWaits.Load()
+	if e+f != t {
+		return []monitor.Violation{{
+			Monitor: "lock-accounting", Thread: -1,
+			Detail: fmt.Sprintf("%s: echoes %d + full waits %d != bias transfers %d",
+				b.name, e, f, t),
+		}}
+	}
+	return nil
+}
+
 // Metrics publishes the lock's counters into reg under
 // "lock.<name>." names. Successive calls add only the growth since
 // the previous call, so several lock instances accumulate into one
@@ -218,4 +252,5 @@ func (b *FFBL) Metrics(reg *obs.Registry) {
 	b.pub.revocations.Publish(reg.Counter(prefix+"revocations"), b.revocations.Load())
 	b.pub.transfers.Publish(reg.Counter(prefix+"bias_transfers"), b.transfers.Load())
 	b.pub.echoes.Publish(reg.Counter(prefix+"echoes"), b.echoes.Load())
+	b.pub.fullWaits.Publish(reg.Counter(prefix+"full_waits"), b.fullWaits.Load())
 }

@@ -34,6 +34,7 @@ func ReclaimRaceDemo(delta uint64, mode HPMode, sinks ...tso.Sink) ReclaimRaceOu
 	m := tso.New(cfg)
 	alloc := NewAllocator(m, 4, nodeWords)
 	hp := NewHPDomain(m, alloc, mode, 2, 3, 7, delta)
+	offerHazardRange(hp, sinks)
 	l := NewList(m, hp, alloc)
 
 	node := alloc.Alloc()

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry is a deterministic fixture covering every renderer
+// branch: a counter, a negative gauge, an empty histogram, and a
+// populated histogram whose samples land in distinct buckets so the
+// p50/p90/p99 summary columns all differ.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("machine.stores").Add(1234)
+	r.Gauge("smr.HP.unreclaimed").Set(-2)
+	r.Histogram("machine.commit_latency_ticks", LinearBuckets(1, 1, 10))
+	h := r.Histogram("monitor.residency_ticks", LinearBuckets(10, 10, 10)) // 10..100
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	h.Observe(2500) // overflow bucket — exercises p99.9/max divergence
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	goldenRegistry().WriteText(&buf)
+	out := buf.String()
+	// The quantile columns are the satellite under test: all three must
+	// be present and, for this fixture, strictly ordered.
+	for _, want := range []string{"p50=60", "p90=100", "p99.9=2500"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	checkGolden(t, "metrics.txt", buf.Bytes())
+}
+
+func TestGoldenWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.json", buf.Bytes())
+}

@@ -325,6 +325,33 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 	return h
 }
 
+// LookupCounter returns the named counter without creating it. Readers
+// that must not perturb the registry (monitors cross-checking what an
+// instrumented component published) use these instead of the
+// get-or-create accessors.
+func (r *Registry) LookupCounter(name string) (*Counter, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	return c, ok
+}
+
+// LookupGauge returns the named gauge without creating it.
+func (r *Registry) LookupGauge(name string) (*Gauge, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	return g, ok
+}
+
+// LookupHistogram returns the named histogram without creating it.
+func (r *Registry) LookupHistogram(name string) (*Histogram, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	return h, ok
+}
+
 // Metric is one snapshotted registry entry.
 type Metric struct {
 	Name string `json:"name"`
@@ -335,10 +362,12 @@ type Metric struct {
 
 	// Histogram summary (Kind == "histogram" only).
 	Count   uint64        `json:"count,omitempty"`
+	Sum     int64         `json:"sum,omitempty"`
 	Mean    float64       `json:"mean,omitempty"`
 	Min     int64         `json:"min,omitempty"`
 	Max     int64         `json:"max,omitempty"`
 	P50     int64         `json:"p50,omitempty"`
+	P90     int64         `json:"p90,omitempty"`
 	P99     int64         `json:"p99,omitempty"`
 	P999    int64         `json:"p999,omitempty"`
 	Buckets []BucketCount `json:"buckets,omitempty"`
@@ -358,8 +387,8 @@ func (r *Registry) Snapshot() []Metric {
 	for name, h := range r.hists {
 		out = append(out, Metric{
 			Name: name, Kind: "histogram",
-			Count: h.Count(), Mean: h.Mean(), Min: h.Min(), Max: h.Max(),
-			P50: h.Quantile(0.50), P99: h.Quantile(0.99), P999: h.Quantile(0.999),
+			Count: h.Count(), Sum: h.Sum(), Mean: h.Mean(), Min: h.Min(), Max: h.Max(),
+			P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99), P999: h.Quantile(0.999),
 			Buckets: h.Buckets(),
 		})
 	}
@@ -373,8 +402,8 @@ func (r *Registry) WriteText(w io.Writer) {
 	for _, m := range r.Snapshot() {
 		switch m.Kind {
 		case "histogram":
-			fmt.Fprintf(w, "%-44s n=%d mean=%.1f min=%d p50=%d p99=%d p99.9=%d max=%d\n",
-				m.Name, m.Count, m.Mean, m.Min, m.P50, m.P99, m.P999, m.Max)
+			fmt.Fprintf(w, "%-44s n=%d mean=%.1f min=%d p50=%d p90=%d p99=%d p99.9=%d max=%d\n",
+				m.Name, m.Count, m.Mean, m.Min, m.P50, m.P90, m.P99, m.P999, m.Max)
 		default:
 			fmt.Fprintf(w, "%-44s %d\n", m.Name, m.Value)
 		}

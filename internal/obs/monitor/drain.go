@@ -1,0 +1,118 @@
+package monitor
+
+import (
+	"fmt"
+
+	"tbtso/internal/tso"
+)
+
+// DrainAccounting checks the machine's drain bookkeeping live: every
+// commit must name a valid drain cause, no thread may commit more
+// stores than it enqueued, and — cross-checked against the machine's
+// own Stats at end of run via VerifyStats — the per-cause drain
+// breakdown must sum to exactly the commit count (the DrainStats
+// invariant PR 2 introduced, now watched instead of trusted).
+//
+// Per-run counters reset at BeginRun; violations accumulate.
+type DrainAccounting struct {
+	rec     recorder
+	causes  [tso.NumDrainCauses]uint64
+	stores  uint64
+	commits uint64
+	perTh   []struct{ stores, commits uint64 }
+}
+
+// NewDrainAccounting returns a drain-accounting monitor.
+func NewDrainAccounting() *DrainAccounting {
+	return &DrainAccounting{rec: recorder{name: "drain-accounting"}}
+}
+
+// Name implements Monitor.
+func (m *DrainAccounting) Name() string { return m.rec.name }
+
+// BeginRun implements tso.RunObserver: it resets the per-run event
+// tallies so VerifyStats compares against exactly one run.
+func (m *DrainAccounting) BeginRun(names []string, delta uint64) {
+	m.causes = [tso.NumDrainCauses]uint64{}
+	m.stores, m.commits = 0, 0
+	if cap(m.perTh) < len(names) {
+		m.perTh = make([]struct{ stores, commits uint64 }, len(names))
+	}
+	m.perTh = m.perTh[:len(names)]
+	for i := range m.perTh {
+		m.perTh[i].stores, m.perTh[i].commits = 0, 0
+	}
+}
+
+// Emit implements tso.Sink.
+//
+//tbtso:fencefree
+func (m *DrainAccounting) Emit(e tso.Event) {
+	switch e.Kind {
+	case tso.EvStore:
+		m.stores++
+		if e.Thread >= 0 && e.Thread < len(m.perTh) {
+			m.perTh[e.Thread].stores++
+		}
+	case tso.EvCommit:
+		m.commits++
+		if int(e.Cause) < 0 || int(e.Cause) >= tso.NumDrainCauses {
+			m.rec.record(Violation{
+				Thread: e.Thread, Enq: e.Enq, Tick: e.Tick,
+				Detail: fmt.Sprintf("commit with invalid drain cause %d", int(e.Cause)),
+				Event:  e.String(),
+			})
+			return
+		}
+		m.causes[e.Cause]++
+		if e.Thread >= 0 && e.Thread < len(m.perTh) {
+			t := &m.perTh[e.Thread]
+			t.commits++
+			if t.commits > t.stores {
+				m.rec.record(Violation{
+					Thread: e.Thread, Enq: e.Enq, Tick: e.Tick,
+					Detail: fmt.Sprintf("thread committed %d stores but enqueued only %d",
+						t.commits, t.stores),
+					Event: e.String(),
+				})
+			}
+		}
+	}
+}
+
+// VerifyStats cross-checks the event-derived tallies of the current
+// run against the machine's own Stats: stores, commits, the per-cause
+// breakdown, and the DrainStats-sums-to-Commits invariant. It records
+// (and returns) any discrepancies. Call it after Run with the run's
+// Result.Stats.
+func (m *DrainAccounting) VerifyStats(stats tso.Stats) []Violation {
+	var out []Violation
+	report := func(format string, args ...any) {
+		v := Violation{Thread: -1, Detail: fmt.Sprintf(format, args...)}
+		m.rec.record(v)
+		v.Monitor = m.rec.name
+		out = append(out, v)
+	}
+	if m.stores != stats.Stores {
+		report("event stream saw %d stores, machine stats say %d", m.stores, stats.Stores)
+	}
+	if m.commits != stats.Commits {
+		report("event stream saw %d commits, machine stats say %d", m.commits, stats.Commits)
+	}
+	var sum uint64
+	for c := 0; c < tso.NumDrainCauses; c++ {
+		cause := tso.DrainCause(c)
+		sum += stats.Drains.ByCause(cause)
+		if m.causes[c] != stats.Drains.ByCause(cause) {
+			report("drain cause %s: event stream saw %d, machine stats say %d",
+				cause, m.causes[c], stats.Drains.ByCause(cause))
+		}
+	}
+	if sum != stats.Commits {
+		report("DrainStats sum %d != Commits %d", sum, stats.Commits)
+	}
+	return out
+}
+
+// Violations implements Monitor.
+func (m *DrainAccounting) Violations() []Violation { return m.rec.violations() }

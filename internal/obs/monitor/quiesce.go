@@ -1,0 +1,92 @@
+package monitor
+
+import (
+	"fmt"
+	"time"
+
+	"tbtso/internal/obs"
+	"tbtso/internal/tso"
+)
+
+// QuiesceCover is the quiescence monitor: it checks that a derived
+// visibility bound covers the waits actually observed by the §6.1
+// quiescence timing model. internal/quiesce publishes its per-episode
+// wait and visibility times as registry histograms; EstimateDelta
+// derives the Δ the hardware design would promise from the same
+// parameters. If any observed sample exceeds the derived bound, that
+// bound was too tight — the fence-free algorithms sized against it
+// would be unsound — and the monitor reports it.
+//
+// QuiesceCover is registry-fed, not event-fed: the quiescence model
+// runs in nanoseconds on real goroutines, not on the tick machine, so
+// there is no event stream to watch. Emit is a no-op; call Check after
+// the episodes of interest have been published (quiesce.VerifyCover
+// wires this up with the derived bound).
+type QuiesceCover struct {
+	rec   recorder
+	reg   *obs.Registry
+	bound int64 // ns
+	names []string
+}
+
+// QuiesceCoverHistograms are the registry histograms the monitor
+// checks by default, all in nanoseconds (published by internal/quiesce):
+// the per-operation quiescence wait and the bail-out-bounded store
+// visibility, both of which the §6.1 design promises stay within the
+// derived Δ. The raw "quiesce.visibility_ns" distribution is
+// deliberately NOT covered — without the bail-out it has an unbounded
+// tail; bounding it is exactly what the mechanism adds.
+var QuiesceCoverHistograms = []string{
+	"quiesce.wait_ns",
+	"quiesce.bailout_visibility_ns",
+}
+
+// NewQuiesceCover returns a quiescence monitor checking the given
+// derived bound against reg's quiesce histograms.
+func NewQuiesceCover(reg *obs.Registry, bound time.Duration) *QuiesceCover {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &QuiesceCover{
+		rec:   recorder{name: "quiesce-cover"},
+		reg:   reg,
+		bound: bound.Nanoseconds(),
+		names: QuiesceCoverHistograms,
+	}
+}
+
+// Name implements Monitor.
+func (m *QuiesceCover) Name() string { return m.rec.name }
+
+// Emit implements tso.Sink as a no-op: the quiescence model emits no
+// machine events.
+func (m *QuiesceCover) Emit(tso.Event) {}
+
+// Check compares each published quiesce histogram's maximum against
+// the derived bound and records a violation per uncovered histogram.
+// Histograms not yet published (or empty) are skipped. Each Check call
+// re-examines the histograms from scratch, so call it once, after the
+// episodes of interest have run.
+func (m *QuiesceCover) Check() []Violation {
+	var out []Violation
+	for _, name := range m.names {
+		h, ok := m.reg.LookupHistogram(name)
+		if !ok || h.Count() == 0 {
+			continue
+		}
+		if max := h.Max(); max > m.bound {
+			v := Violation{
+				Thread: -1,
+				Detail: fmt.Sprintf("%s max %v exceeds derived bound %v — the bound does not cover the observed waits",
+					name, time.Duration(max), time.Duration(m.bound)),
+			}
+			m.rec.record(v)
+			v.Monitor = m.rec.name
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Violations implements Monitor.
+func (m *QuiesceCover) Violations() []Violation { return m.rec.violations() }

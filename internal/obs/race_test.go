@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+
+	"tbtso/internal/tso"
+)
+
+// TestRegistryConcurrentStress hammers one registry from many
+// goroutines doing get-or-create, Inc/Add/Set/Observe, and concurrent
+// Snapshot/WriteText readers. It asserts the final counts (nothing
+// lost) and, under -race, that the whole surface is data-race free —
+// the live ops endpoint snapshots the registry while machine sinks are
+// still writing into it, so this interleaving is the production one.
+func TestRegistryConcurrentStress(t *testing.T) {
+	r := NewRegistry()
+	const (
+		writers = 8
+		iters   = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Get-or-create raced across goroutines on shared names.
+				r.Counter("stress.count").Inc()
+				r.Counter("stress.count").Add(1)
+				r.Gauge("stress.gauge").Add(1)
+				r.Histogram("stress.hist", ExpBuckets(1, 2, 10)).Observe(int64(i % 100))
+				if i%64 == 0 {
+					r.Gauge("stress.gauge").Set(int64(i))
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers: snapshots and lookups while writes are in flight.
+	for rd := 0; rd < 4; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				for _, m := range r.Snapshot() {
+					_ = m.Name
+				}
+				r.LookupCounter("stress.count")
+				r.LookupHistogram("stress.hist")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("stress.count").Load(); got != writers*iters*2 {
+		t.Fatalf("counter = %d, want %d", got, writers*iters*2)
+	}
+	if got := r.Histogram("stress.hist", nil).Count(); got != writers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, writers*iters)
+	}
+}
+
+// TestRingSinkWraparoundProperty is the wraparound property test: for
+// a grid of (capacity, total) pairs straddling the next%cap boundary,
+// Events() must return exactly the last min(total, cap) emitted events
+// in emission order, and Total/Dropped must account for the rest.
+func TestRingSinkWraparoundProperty(t *testing.T) {
+	for _, capacity := range []int{1, 2, 3, 7, 16, 64} {
+		for _, total := range []int{0, 1, capacity - 1, capacity, capacity + 1, 2 * capacity, 3*capacity + capacity/2 + 1} {
+			if total < 0 {
+				continue
+			}
+			ring := NewRingSink(capacity)
+			all := make([]tso.Event, 0, total)
+			for i := 0; i < total; i++ {
+				e := tso.Event{
+					Tick:   uint64(i),
+					Thread: i % 3,
+					Kind:   tso.EvStore,
+					Addr:   tso.Addr(i % 8),
+					Val:    tso.Word(i * 7),
+				}
+				ring.Emit(e)
+				all = append(all, e)
+			}
+			if got := ring.Total(); got != uint64(total) {
+				t.Fatalf("cap=%d total=%d: Total() = %d", capacity, total, got)
+			}
+			retain := total
+			if retain > capacity {
+				retain = capacity
+			}
+			if got := ring.Dropped(); got != uint64(total-retain) {
+				t.Fatalf("cap=%d total=%d: Dropped() = %d, want %d", capacity, total, got, total-retain)
+			}
+			got := ring.Events()
+			if len(got) != retain {
+				t.Fatalf("cap=%d total=%d: Events() len = %d, want %d", capacity, total, len(got), retain)
+			}
+			want := all[total-retain:]
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("cap=%d total=%d: Events()[%d] = %+v, want %+v (ordering broken across wrap boundary)",
+						capacity, total, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"tbtso/internal/obs"
+)
+
+// WritePrometheus renders the registry's snapshot in the Prometheus
+// text exposition format (version 0.0.4):
+//
+//   - metric names are prefixed "tbtso_" and sanitized (every
+//     character outside [a-zA-Z0-9_] becomes "_"), so
+//     "machine.drain.delta" scrapes as "tbtso_machine_drain_delta";
+//   - counters gain the conventional "_total" suffix;
+//   - gauges export as-is;
+//   - histograms export cumulative "_bucket{le=...}" series, an
+//     "le=+Inf" bucket, "_sum" and "_count" — the native Prometheus
+//     histogram type, so rate() and histogram_quantile() work.
+func WritePrometheus(w io.Writer, reg *obs.Registry) error {
+	for _, m := range reg.Snapshot() {
+		name := promName(m.Name)
+		switch m.Kind {
+		case "counter":
+			if _, err := fmt.Fprintf(w, "# TYPE %s_total counter\n%s_total %d\n", name, name, m.Value); err != nil {
+				return err
+			}
+		case "gauge":
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, m.Value); err != nil {
+				return err
+			}
+		case "histogram":
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+				return err
+			}
+			var cum uint64
+			for _, b := range m.Buckets {
+				cum += b.Count
+				le := "+Inf"
+				if b.Bound != math.MaxInt64 {
+					le = fmt.Sprintf("%d", b.Bound)
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, le, cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, m.Sum, name, m.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// promName sanitizes a registry metric name into a legal Prometheus
+// metric name under the tbtso_ namespace.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("tbtso_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,129 @@
+// Package serve embeds a live ops endpoint into the tbtso CLIs: the
+// metrics registry in Prometheus text exposition format and as JSON,
+// the monitor violation report, a flight-recorder dump, health, and
+// net/http/pprof — so a long fuzz campaign or bench run is scrapeable
+// and debuggable while it executes. All five commands wire it through
+// the shared flag helper in flags.go (-obs.listen, -obs.monitor).
+// See docs/OBSERVABILITY.md for curl examples.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"tbtso/internal/obs"
+	"tbtso/internal/obs/monitor"
+)
+
+// Server is the embedded ops endpoint. Zero-value fields degrade
+// gracefully: without a monitor set /violations reports an empty
+// list, without a recorder /flightrecorder is 404.
+type Server struct {
+	reg *obs.Registry
+	set *monitor.Set
+	rec *monitor.FlightRecorder
+	mux *http.ServeMux
+
+	ln   net.Listener
+	http *http.Server
+}
+
+// New returns a server exposing reg. Attach monitors and a flight
+// recorder with SetMonitors/SetFlightRecorder before Start.
+func New(reg *obs.Registry) *Server {
+	s := &Server{reg: reg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/violations", s.handleViolations)
+	s.mux.HandleFunc("/flightrecorder", s.handleFlightRecorder)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// SetMonitors attaches the monitor set behind /violations and the
+// health check.
+func (s *Server) SetMonitors(set *monitor.Set) { s.set = set }
+
+// SetFlightRecorder attaches the recorder behind /flightrecorder.
+func (s *Server) SetFlightRecorder(rec *monitor.FlightRecorder) { s.rec = rec }
+
+// Handler returns the ops mux (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr ("host:port"; ":0" picks a free port) and
+// serves in a background goroutine. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("serve: %w", err)
+	}
+	s.ln = ln
+	s.http = &http.Server{Handler: s.mux}
+	go s.http.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Stop
+	return ln.Addr().String(), nil
+}
+
+// Stop closes the listener and any in-flight connections.
+func (s *Server) Stop() error {
+	if s.http == nil {
+		return nil
+	}
+	return s.http.Close()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := WritePrometheus(w, s.reg); err != nil {
+		// Too late for a status code; the scrape will be truncated.
+		return
+	}
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.reg.WriteJSON(w) //nolint:errcheck
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if s.set != nil {
+		n = len(s.set.Violations())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if n > 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"status": "violations", "violations": n})
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]any{"status": "ok", "violations": 0})
+}
+
+func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request) {
+	violations := []monitor.Violation{}
+	if s.set != nil {
+		violations = append(violations, s.set.Violations()...)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{"violations": violations}) //nolint:errcheck
+}
+
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	if s.rec == nil {
+		http.Error(w, "no flight recorder attached (run with -obs.monitor)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.rec.Dump(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

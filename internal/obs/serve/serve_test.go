@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tbtso/internal/obs"
+	"tbtso/internal/obs/monitor"
+	"tbtso/internal/tso"
+)
+
+func testRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.Counter("machine.stores").Add(42)
+	reg.Gauge("smr.HP.unreclaimed").Set(3)
+	h := reg.Histogram("machine.commit_latency_ticks", obs.LinearBuckets(1, 1, 4))
+	h.Observe(2)
+	h.Observe(3)
+	h.Observe(100) // overflow bucket
+	return reg
+}
+
+func TestWritePrometheusExposition(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, testRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE tbtso_machine_stores_total counter",
+		"tbtso_machine_stores_total 42",
+		"# TYPE tbtso_smr_HP_unreclaimed gauge",
+		"tbtso_smr_HP_unreclaimed 3",
+		"# TYPE tbtso_machine_commit_latency_ticks histogram",
+		`tbtso_machine_commit_latency_ticks_bucket{le="+Inf"} 3`,
+		"tbtso_machine_commit_latency_ticks_sum 105",
+		"tbtso_machine_commit_latency_ticks_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative: le="3" counts the samples at 2 and 3.
+	if !strings.Contains(out, `tbtso_machine_commit_latency_ticks_bucket{le="3"} 2`) {
+		t.Errorf("bucket counts not cumulative:\n%s", out)
+	}
+}
+
+func TestHandlers(t *testing.T) {
+	reg := testRegistry()
+	set := monitor.NewSet(monitor.NewResidency(reg, 5))
+	rec := monitor.NewFlightRecorder(reg, set, 64)
+	srv := New(reg)
+	srv.SetMonitors(set)
+	srv.SetFlightRecorder(rec)
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		w := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+		resp := w.Result()
+		body, _ := io.ReadAll(resp.Body)
+		return resp, string(body)
+	}
+
+	resp, body := get("/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	if !strings.Contains(body, "tbtso_machine_stores_total 42") {
+		t.Errorf("/metrics body:\n%s", body)
+	}
+
+	_, body = get("/metrics.json")
+	var metrics []obs.Metric
+	if err := json.Unmarshal([]byte(body), &metrics); err != nil || len(metrics) == 0 {
+		t.Errorf("/metrics.json not a metric list (%v):\n%s", err, body)
+	}
+
+	resp, body = get("/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"status":"ok"`) {
+		t.Errorf("/healthz clean = %d %q", resp.StatusCode, body)
+	}
+
+	// Trip the residency monitor, then health must flip to 503.
+	set.BeginRun([]string{"w"}, 0)
+	set.Emit(tso.Event{Kind: tso.EvCommit, Thread: 0, Addr: 1, Val: 1, Enq: 0, Tick: 50})
+	resp, body = get("/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(body, `"status":"violations"`) {
+		t.Errorf("/healthz tripped = %d %q", resp.StatusCode, body)
+	}
+
+	_, body = get("/violations")
+	var vr struct {
+		Violations []monitor.Violation `json:"violations"`
+	}
+	if err := json.Unmarshal([]byte(body), &vr); err != nil || len(vr.Violations) != 1 {
+		t.Errorf("/violations (%v):\n%s", err, body)
+	}
+
+	_, body = get("/flightrecorder")
+	doc, err := monitor.ReadFlightDump(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/flightrecorder not a flight dump: %v", err)
+	}
+	if len(doc.Violations) != 1 {
+		t.Errorf("flight dump violations = %d, want 1", len(doc.Violations))
+	}
+
+	resp, _ = get("/debug/pprof/cmdline")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d", resp.StatusCode)
+	}
+}
+
+func TestFlightRecorderHandlerWithoutRecorder(t *testing.T) {
+	srv := New(obs.NewRegistry())
+	w := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(w, httptest.NewRequest("GET", "/flightrecorder", nil))
+	if w.Result().StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", w.Result().StatusCode)
+	}
+}
+
+func TestParseMonitors(t *testing.T) {
+	reg := obs.NewRegistry()
+	set, err := ParseMonitors("residency=40, drain,smr", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(set.Monitors()); got != 3 {
+		t.Fatalf("parsed %d monitors, want 3", got)
+	}
+	if set2, err := ParseMonitors("all", reg); err != nil || len(set2.Monitors()) != 3 {
+		t.Fatalf("all: %v, %d monitors", err, len(set2.Monitors()))
+	}
+	for _, bad := range []string{"bogus", "residency=x", "all=3"} {
+		if _, err := ParseMonitors(bad, obs.NewRegistry()); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestOptionsStartRoundTrip runs the full session lifecycle over a real
+// listener: flags → session → monitored machine run → live scrape →
+// Finish with a flight artifact.
+func TestOptionsStartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Listen: "127.0.0.1:0", Monitors: "residency=5,drain", FlightDir: dir, Ring: 128}
+	sess, err := opts.Start(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Addr == "" || sess.Recorder == nil || len(sess.Sinks()) != 1 {
+		t.Fatalf("session incomplete: addr=%q rec=%v sinks=%d", sess.Addr, sess.Recorder, len(sess.Sinks()))
+	}
+
+	// Feed a violating commit through the session's sink.
+	sink := sess.Sinks()[0]
+	sess.Recorder.BeginRun([]string{"w"}, 0)
+	sink.Emit(tso.Event{Kind: tso.EvStore, Thread: 0, Addr: 1, Val: 1, Tick: 1})
+	sink.Emit(tso.Event{Kind: tso.EvCommit, Thread: 0, Addr: 1, Val: 1, Enq: 1, Tick: 40})
+
+	client := http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + sess.Addr + "/metrics")
+	if err != nil {
+		t.Fatalf("live scrape: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "tbtso_monitor_residency_violations_total 1") {
+		t.Errorf("scrape missing violation counter:\n%s", body)
+	}
+
+	var report bytes.Buffer
+	n := sess.Finish(&report, "roundtrip")
+	if n != 1 {
+		t.Fatalf("Finish reported %d violations, want 1", n)
+	}
+	if !strings.Contains(report.String(), "flight-recorder artifact:") {
+		t.Fatalf("Finish did not write the artifact:\n%s", report.String())
+	}
+	// Endpoint must be down after Finish.
+	if _, err := client.Get("http://" + sess.Addr + "/healthz"); err == nil {
+		t.Error("endpoint still serving after Finish")
+	}
+}
+
+// TestInertSession: zero Options must yield a no-op session so every
+// CLI can call Start/Finish unconditionally.
+func TestInertSession(t *testing.T) {
+	sess, err := Options{}.Start(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Sinks() != nil || sess.Addr != "" {
+		t.Fatalf("inert session not inert: %+v", sess)
+	}
+	var buf bytes.Buffer
+	if n := sess.Finish(&buf, "x"); n != 0 || buf.Len() != 0 {
+		t.Fatalf("inert Finish: n=%d out=%q", n, buf.String())
+	}
+}

@@ -7,9 +7,8 @@ import "tbtso/internal/tso"
 // allocation-free Emit. Attach it for runs whose full trace would not
 // fit in memory.
 type RingSink struct {
-	buf   []tso.Event
-	next  uint64 // total events seen; next%cap is the write slot
-	total uint64
+	buf  []tso.Event
+	next uint64 // total events seen; next%cap is the write slot
 }
 
 // NewRingSink returns a ring holding the last n events.
@@ -27,24 +26,23 @@ func NewRingSink(n int) *RingSink {
 func (r *RingSink) Emit(e tso.Event) {
 	r.buf[r.next%uint64(len(r.buf))] = e
 	r.next++
-	r.total++
 }
 
 // Total reports how many events were emitted over the run, including
 // those the ring has since overwritten.
-func (r *RingSink) Total() uint64 { return r.total }
+func (r *RingSink) Total() uint64 { return r.next }
 
 // Dropped reports how many events were overwritten.
 func (r *RingSink) Dropped() uint64 {
-	if r.total <= uint64(len(r.buf)) {
+	if r.next <= uint64(len(r.buf)) {
 		return 0
 	}
-	return r.total - uint64(len(r.buf))
+	return r.next - uint64(len(r.buf))
 }
 
 // Events returns the retained events in emission order.
 func (r *RingSink) Events() []tso.Event {
-	n := r.total
+	n := r.next
 	if n > uint64(len(r.buf)) {
 		n = uint64(len(r.buf))
 	}

@@ -1,0 +1,18 @@
+package quiesce
+
+import (
+	"tbtso/internal/obs"
+	"tbtso/internal/obs/monitor"
+)
+
+// VerifyCover is the quiescence monitor hook: after episodes have
+// published their wait/visibility histograms into reg (Params.Metrics),
+// it checks that the Δ the design derives from the same parameters
+// (EstimateDelta) covers every observed sample — the bound the paper's
+// fence-free algorithms are sized against must never be betrayed by
+// the model that justifies it. It returns the uncovered histograms as
+// monitor violations (nil when everything is covered or nothing was
+// published).
+func VerifyCover(p Params, reg *obs.Registry, hwThreads int) []monitor.Violation {
+	return monitor.NewQuiesceCover(reg, EstimateDelta(p, hwThreads)).Check()
+}

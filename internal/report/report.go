@@ -135,6 +135,18 @@ func (t *Table) MarshalJSON() ([]byte, error) {
 	})
 }
 
+// UnmarshalJSON implements json.Unmarshaler, the inverse of
+// MarshalJSON — it lets consumers (tbtso-bench -compare) read a figure
+// document back into Tables and diff them cell for cell.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var doc tableJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	t.Title, t.Headers, t.rows, t.notes = doc.Title, doc.Headers, doc.Rows, doc.Notes
+	return nil
+}
+
 // JSON writes the table as indented JSON followed by a newline.
 func (t *Table) JSON(w io.Writer) error {
 	enc := json.NewEncoder(w)

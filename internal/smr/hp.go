@@ -8,6 +8,7 @@ import (
 	"tbtso/internal/core"
 	"tbtso/internal/fence"
 	"tbtso/internal/obs"
+	"tbtso/internal/obs/monitor"
 	"tbtso/internal/vclock"
 )
 
@@ -371,6 +372,21 @@ func (hp *HazardPointers) Metrics(reg *obs.Registry) {
 	hp.pub.loops.Publish(reg.Counter(prefix+"retire_loops"), loops)
 	hp.pub.frees.Publish(reg.Counter(prefix+"frees"), frees)
 	reg.Gauge(prefix + "unreclaimed").Set(int64(hp.Unreclaimed()))
+}
+
+// VerifyAccounting publishes the scheme's counters into reg and
+// cross-checks the reclamation accounting invariant — every retired
+// node is either freed or still pending, frees + unreclaimed ==
+// retires — via the obs/monitor registry-fed check. Call it at
+// quiescence (workers joined); mid-run the counters are transiently
+// inconsistent by design. Returns nil when the books balance.
+//
+// reg must be private to this scheme instance or the "smr.<name>."
+// namespace must have a single publisher; counters accumulated from
+// several instances cannot be attributed back.
+func (hp *HazardPointers) VerifyAccounting(reg *obs.Registry) []monitor.Violation {
+	hp.Metrics(reg)
+	return monitor.CheckSMRAccounting(reg, hp.name)
 }
 
 // ClearSlots resets thread tid's hazard pointers (op teardown in
