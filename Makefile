@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint verify test race check bench bench-compare mc-bench fuzz-smoke obs-smoke figures figures-quick demos clean
+.PHONY: all build vet lint verify test race check bench bench-guard bench-compare bench-sim mc-bench sim-bench fuzz-smoke obs-smoke figures figures-quick demos clean
 
 all: build lint test
 
@@ -37,12 +37,26 @@ check: build lint test race verify
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Figure-JSON regression gate: diff the committed mc baseline against
-# itself (structure/codec sanity). Against a fresh run:
+# Compile-rot guard: build and link every benchmark and run each once.
+# Benchmarks are not compiled by `go test` runs, so without this a
+# refactor can silently break them.
+bench-guard:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Figure-JSON regression gates: diff the committed baselines against
+# themselves (structure/codec sanity). Against a fresh run:
 #   go run ./cmd/tbtso-bench -figure mc -json > new.json
 #   go run ./cmd/tbtso-bench -compare BENCH_mc.json new.json
+# (same for -figure sim and BENCH_sim.json)
 bench-compare:
 	$(GO) run ./cmd/tbtso-bench -compare BENCH_mc.json BENCH_mc.json
+	$(GO) run ./cmd/tbtso-bench -compare BENCH_sim.json BENCH_sim.json
+
+# Regenerate the simulator-throughput baseline (engine speedup + fuzz
+# worker scaling; docs/PERF.md).
+bench-sim:
+	$(GO) run ./cmd/tbtso-bench -figure sim -json > BENCH_sim.json
+	$(GO) run ./cmd/tbtso-bench -compare BENCH_sim.json BENCH_sim.json
 
 # Observability smoke: a short monitored litmus sweep with the live ops
 # endpoint up; the Prometheus scrape must show zero Δ-residency
@@ -55,6 +69,12 @@ obs-smoke:
 # The committed baseline is BENCH_mc.json (tbtso-bench -figure mc -json).
 mc-bench:
 	$(GO) test -run '^$$' -bench BenchmarkExplore -benchtime=1x ./internal/mc
+
+# Machine execution-engine smoke benchmarks: the sim figure's cells as
+# testing.B benches (direct vs goroutine engine, campaign workers).
+# The committed baseline is BENCH_sim.json (tbtso-bench -figure sim -json).
+sim-bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkCampaignWorkers' -benchtime=1x ./internal/bench
 
 # Differential-fuzzing smoke: short seeded runs of the native fuzz
 # targets (machine-vs-checker containment, state-encoding round trip)

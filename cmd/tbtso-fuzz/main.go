@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -42,6 +43,7 @@ func main() {
 		maxStates  = flag.Int("maxstates", 200_000, "state budget per checker exploration; exceeding it truncates (skips) the check")
 		crossCheck = flag.Int("crosscheck", 20_000, "run the sequential reference engine when the parallel exploration is at most this many states (-1 disables)")
 		timeBudget = flag.Duration("time", 0, "wall-clock budget; stops early even if -n remains (0 = none)")
+		workers    = flag.Int("workers", 0, "campaign workers sharding the seed space (0 = GOMAXPROCS, 1 = serial); the report is worker-count independent")
 		shrinkMax  = flag.Int("shrink", 4000, "max shrink attempts (failure-predicate runs) per mismatch")
 		outDir     = flag.String("out", "", "write artifacts (.json, .go.txt, .trace.json) to this directory")
 		plant      = flag.Bool("plant", false, "run the planted negative controls instead of a campaign")
@@ -66,6 +68,7 @@ func main() {
 		CrossCheckStates: *crossCheck,
 		Metrics:          reg,
 		Sinks:            sess.Sinks(),
+		Workers:          *workers,
 	}
 	if cfg.Deltas, err = parseDeltas(*deltasStr); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -144,17 +147,38 @@ type summary struct {
 func runCampaign(cfg fuzz.Config, reg *obs.Registry, n int, startSeed int64, budget time.Duration, shrinkMax int, outDir string, jsonOut, metrics, verbose bool) int {
 	start := time.Now()
 	sum := summary{FirstSeed: startSeed, LastSeed: startSeed - 1}
-	for i := 0; i < n; i++ {
+
+	// The seed space is consumed in worker-count-sized batches through
+	// the parallel fuzz.Run; between batches the time budget is checked
+	// and throughput gauges published, and any mismatches are shrunk
+	// serially (shrinking re-runs the failure predicate thousands of
+	// times — it stays outside the sharded hot path).
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	reg.Gauge("fuzz.campaign.workers").Set(int64(workers))
+	batch := workers * 4
+	for done := 0; done < n; {
 		if budget > 0 && time.Since(start) > budget {
 			break
 		}
-		s := startSeed + int64(i)
-		sum.LastSeed = s
-		rep := fuzz.CheckProgram(cfg, fuzz.Gen(cfg.Gen, s), s)
+		b := batch
+		if done+b > n {
+			b = n - done
+		}
+		first := startSeed + int64(done)
+		rep := fuzz.Run(cfg, b, first)
+		done += b
+		sum.LastSeed = first + int64(b) - 1
 		sum.Programs += rep.Programs
 		sum.Runs += rep.Runs
 		sum.Truncated += rep.Truncated
 		sum.Mismatches += len(rep.Mismatches)
+		if sec := time.Since(start).Seconds(); sec > 0 {
+			reg.Gauge("fuzz.campaign.programs_per_sec").Set(int64(float64(sum.Programs) / sec))
+			reg.Gauge("fuzz.campaign.runs_per_sec").Set(int64(float64(sum.Runs) / sec))
+		}
 		for _, m := range rep.Mismatches {
 			if verbose {
 				fmt.Fprintf(os.Stderr, "MISMATCH %s\n", m)

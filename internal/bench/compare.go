@@ -84,6 +84,8 @@ var metricColumns = map[string]bool{
 	"time":     true,
 	"states/s": true,
 	"speedup":  true,
+	"ops/s":    true, // sim figure: machine actions per second
+	"runs/s":   true, // sim figure: whole program executions per second
 }
 
 // Compare diffs a candidate figure document against a baseline:

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"tbtso/internal/fuzz"
+	"tbtso/internal/mc"
+	"tbtso/internal/report"
+	"tbtso/internal/tso"
+)
+
+// simCorpus is the workload the engine rows are measured on: a
+// deterministic slice of the fuzz generator's program distribution
+// (the same litmus-scale shapes campaigns sample), so the figure's
+// throughput is the throughput campaigns actually see.
+func simCorpus(n int) []mc.Program {
+	ps := make([]mc.Program, n)
+	for i := range ps {
+		ps[i] = fuzz.Gen(fuzz.GenConfig{}, int64(i+1))
+	}
+	return ps
+}
+
+// simActions is the machine-action count of one run — loads, stores,
+// RMWs, fences and clock reads actually granted — taken from the run's
+// Stats, so ops/s measures scheduler grants, not source-program length
+// (wait loops expand to many clock reads).
+func simActions(s tso.Stats) uint64 {
+	return s.Loads + s.Stores + s.RMWs + s.Fences + s.ClockReads
+}
+
+// Sim benchmarks the clocked machine's two execution engines — the
+// direct-execution interpreter (tso.ExecProgram: no goroutines, no
+// channels, zero steady-state allocation) and the goroutine engine
+// (Thread handles over channels) — plus the parallel campaign driver's
+// worker scaling. Engine rows are byte-identical in outcome by the
+// engine-equivalence suite; here only the clock differs. The speedup
+// column is goroutine-engine time over engine time for the same cell
+// (campaign rows: workers=1 time over the row's time);
+// `tbtso-bench -figure sim -json` emits the table as the BENCH_sim.json
+// perf baseline.
+func Sim(o Options) *report.Table {
+	o = o.Defaults()
+	corpusN, repeats, campaignN := 60, 60, 48
+	if o.Quick {
+		corpusN, repeats, campaignN = 24, 15, 12
+	}
+
+	t := report.NewTable("Simulator: machine execution engines (ops/s, runs/s, speedup)",
+		"workload", "Δ", "policy", "engine", "runs", "ops/s", "runs/s", "time", "speedup")
+	t.AddNote("corpus = %d fuzz.Gen programs × %d scheduler seeds per cell; ops = granted machine actions (loads+stores+RMWs+fences+clock reads)", corpusN, repeats)
+	t.AddNote("direct = in-loop interpreter on one reused machine; goroutine = one OS-scheduled goroutine per thread, channel handshake per action")
+	t.AddNote("campaign rows: full differential sweep (checker + machine) sharded across workers; report is worker-count independent")
+
+	corpus := simCorpus(corpusN)
+	workload := fmt.Sprintf("gen(%d)", corpusN)
+
+	type cellKey struct {
+		delta  uint64
+		policy tso.DrainPolicy
+	}
+	cells := []cellKey{
+		{0, tso.DrainEager},
+		{4, tso.DrainRandom},
+		{4, tso.DrainAdversarial},
+	}
+	for _, c := range cells {
+		// Goroutine engine first: it is the yardstick the direct rows'
+		// speedup is measured against.
+		var gOps, gRuns uint64
+		gStart := time.Now()
+		for r := 0; r < repeats; r++ {
+			for pi, p := range corpus {
+				run := fuzz.MachineRun{Delta: c.delta, Policy: c.policy, Seed: int64(r*1000 + pi)}
+				_, res, err := fuzz.RunOnMachineGoroutine(p, run)
+				if err != nil {
+					t.AddRow(workload, c.delta, c.policy, "goroutine", "error", "-", "-", err.Error(), "-")
+					continue
+				}
+				gOps += simActions(res.Stats)
+				gRuns++
+			}
+		}
+		gTime := time.Since(gStart)
+
+		var iOps, iRuns uint64
+		s := fuzz.NewSampler()
+		iStart := time.Now()
+		for r := 0; r < repeats; r++ {
+			for pi, p := range corpus {
+				run := fuzz.MachineRun{Delta: c.delta, Policy: c.policy, Seed: int64(r*1000 + pi)}
+				_, res, err := s.Sample(p, run)
+				if err != nil {
+					t.AddRow(workload, c.delta, c.policy, "direct", "error", "-", "-", err.Error(), "-")
+					continue
+				}
+				iOps += simActions(res.Stats)
+				iRuns++
+			}
+		}
+		iTime := time.Since(iStart)
+
+		emit := func(engine string, ops, runs uint64, el time.Duration, speedup string) {
+			t.AddRow(workload, c.delta, c.policy, engine, runs,
+				fmt.Sprintf("%.0f", float64(ops)/el.Seconds()),
+				fmt.Sprintf("%.0f", float64(runs)/el.Seconds()),
+				el.Round(time.Microsecond).String(), speedup)
+		}
+		emit("goroutine", gOps, gRuns, gTime, "1.0x")
+		emit("direct", iOps, iRuns, iTime, fmt.Sprintf("%.1fx", float64(gTime)/float64(iTime)))
+	}
+
+	// Campaign scaling: the same differential sweep fuzz campaigns run
+	// (checker explorations + machine sampling), sharded across workers.
+	// The worker list is fixed — not GOMAXPROCS-derived — so baseline
+	// and candidate documents always have the same rows.
+	var baseTime time.Duration
+	for _, workers := range []int{1, 2, 4, 8} {
+		cfg := fuzz.Config{Workers: workers}
+		start := time.Now()
+		rep := fuzz.Run(cfg, campaignN, 1)
+		el := time.Since(start)
+		if workers == 1 {
+			baseTime = el
+		}
+		t.AddRow("campaign", "0,1,3", "all", fmt.Sprintf("workers=%d", workers), rep.Runs,
+			"-",
+			fmt.Sprintf("%.0f", float64(rep.Runs)/el.Seconds()),
+			el.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.1fx", float64(baseTime)/float64(el)))
+	}
+	return t
+}

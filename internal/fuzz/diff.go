@@ -3,7 +3,10 @@ package fuzz
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"tbtso/internal/mc"
 	"tbtso/internal/obs"
@@ -38,8 +41,17 @@ type Config struct {
 	Metrics *obs.Registry
 	// Sinks are attached to every sampled machine run — e.g. the
 	// obs/monitor online checkers, so a campaign's machine side runs
-	// under continuous Δ-residency verification.
+	// under continuous Δ-residency verification. Sinks are not safe for
+	// concurrent use, so a parallel Run serializes the sampled machine
+	// runs of all workers around them (the checker explorations still
+	// parallelize; prefer no sinks for throughput campaigns).
 	Sinks []tso.Sink
+	// Workers is the parallelism of Run: the (program, seed) space is
+	// sharded across this many workers, each with its own machine.
+	// 0 means GOMAXPROCS; 1 is fully serial. The merged Report is
+	// identical for every worker count (programs are independent and
+	// reports are merged in seed order).
+	Workers int
 }
 
 func (c Config) orDefault() Config {
@@ -173,7 +185,15 @@ func diffOutcomes(a, b map[string]bool) string {
 // exhaustive outcome set at the covering Δ. seed tags mismatches for
 // replay; pass the generator seed (or 0 for hand-built programs).
 func CheckProgram(cfg Config, p mc.Program, seed int64) Report {
-	cfg = cfg.orDefault()
+	return checkProgram(cfg.orDefault(), NewSampler(), nil, p, seed)
+}
+
+// checkProgram is CheckProgram with an explicit execution context: the
+// sampler is the worker-local machine the program's runs reuse, and
+// sinkMu (nil in serial drivers) serializes sampled runs around the
+// shared cfg.Sinks in a parallel campaign. cfg must already be
+// defaulted.
+func checkProgram(cfg Config, s *Sampler, sinkMu *sync.Mutex, p mc.Program, seed int64) Report {
 	rep := Report{Programs: 1}
 	cfg.count("fuzz.programs", 1)
 
@@ -228,7 +248,13 @@ func CheckProgram(cfg Config, p mc.Program, seed int64) Report {
 				machSeed := seed*1000003 + int64(pi)*101 + int64(i)
 				rep.Runs++
 				cfg.count("fuzz.runs", 1)
-				outcome, err := RunOnMachine(p, MachineRun{Delta: machDelta, Policy: pol, Seed: machSeed}, cfg.Sinks...)
+				if sinkMu != nil {
+					sinkMu.Lock()
+				}
+				outcome, _, err := s.Sample(p, MachineRun{Delta: machDelta, Policy: pol, Seed: machSeed}, cfg.Sinks...)
+				if sinkMu != nil {
+					sinkMu.Unlock()
+				}
 				if err != nil {
 					rep.Mismatches = append(rep.Mismatches, Mismatch{
 						Kind: KindMachineError, Seed: seed, Delta: delta, Cover: cover,
@@ -249,14 +275,57 @@ func CheckProgram(cfg Config, p mc.Program, seed int64) Report {
 	return rep
 }
 
-// Run generates and checks n programs starting at startSeed, returning
-// the aggregate report. Deterministic per (cfg, n, startSeed).
+// Run generates and checks n programs starting at startSeed, sharding
+// the seed space across cfg.Workers workers (GOMAXPROCS when 0), and
+// returns the aggregate report. Deterministic per (cfg, n, startSeed)
+// and independent of the worker count: program i's report depends only
+// on (cfg, startSeed+i) — each worker runs its programs on a private
+// machine — and the per-program reports are merged in seed order.
 func Run(cfg Config, n int, startSeed int64) Report {
 	cfg = cfg.orDefault()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		s := NewSampler()
+		var rep Report
+		for i := 0; i < n; i++ {
+			seed := startSeed + int64(i)
+			rep.Add(checkProgram(cfg, s, nil, Gen(cfg.Gen, seed), seed))
+		}
+		return rep
+	}
+
+	var sinkMu *sync.Mutex
+	if len(cfg.Sinks) > 0 {
+		sinkMu = new(sync.Mutex)
+	}
+	reports := make([]Report, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := NewSampler()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				seed := startSeed + int64(i)
+				reports[i] = checkProgram(cfg, s, sinkMu, Gen(cfg.Gen, seed), seed)
+			}
+		}()
+	}
+	wg.Wait()
 	var rep Report
-	for i := 0; i < n; i++ {
-		seed := startSeed + int64(i)
-		rep.Add(CheckProgram(cfg, Gen(cfg.Gen, seed), seed))
+	for i := range reports {
+		rep.Add(reports[i])
 	}
 	return rep
 }

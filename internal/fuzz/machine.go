@@ -46,17 +46,10 @@ func CoverDelta(p mc.Program, machDelta uint64) int {
 	return int(machDelta+1)*len(p.Threads) + 2
 }
 
-// RunOnMachine executes p once on the clocked abstract machine under
-// run's configuration and returns the outcome in the checker's
-// canonical "T0:r0=1 T1:r0=0" form. Optional sinks stream the machine's
-// events (e.g. an obs.Perfetto exporter building a failure trace).
-//
-// Op mapping: St → Thread.Store, Ld → Thread.Load, Fence →
-// Thread.Fence, RMW(a,v,r) → Thread.FetchAdd (old value into r, same
-// add-and-return-old semantics as the checker), Wait(n) → an n-tick
-// clock-polling wait (the §3 "wait Δ time units" of the flag
-// principle, in machine ticks).
-func RunOnMachine(p mc.Program, run MachineRun, sinks ...tso.Sink) (string, error) {
+// machineConfig is the machine configuration every sampled run uses,
+// on either engine — keeping the two construction sites identical is
+// part of the engine-equivalence argument (docs/PERF.md).
+func machineConfig(run MachineRun, sinks []tso.Sink) tso.Config {
 	cfg := tso.Config{
 		Delta:  run.Delta,
 		Policy: run.Policy,
@@ -71,7 +64,138 @@ func RunOnMachine(p mc.Program, run MachineRun, sinks ...tso.Sink) (string, erro
 		// of 1 cannot overrun the bound.
 		cfg.DrainMargin = 1
 	}
-	m := tso.New(cfg)
+	return cfg
+}
+
+// Sampler is a reusable direct-execution context: one clocked machine
+// plus compiled-program and register scratch, reused across every run
+// of a campaign. A Sampler executes checker programs on the machine's
+// direct-execution engine (tso.ExecProgram) — no goroutines, no
+// channels, zero steady-state allocation — and is the hot path of
+// fuzz campaigns and the sim benchmark figure. Not safe for concurrent
+// use; the parallel campaign driver gives each worker its own.
+type Sampler struct {
+	m    *tso.Machine
+	prog tso.Prog
+	ops  []tso.ProgOp // backing storage for prog.Threads
+	regs [][]tso.Word
+	ints [][]int
+	buf  []byte // outcome formatting scratch
+}
+
+// NewSampler returns an empty sampler; the first Run sizes it.
+func NewSampler() *Sampler {
+	return &Sampler{m: tso.New(tso.Config{})}
+}
+
+// compile translates p into the machine's program vocabulary with
+// variable v at machine address base+v, reusing the sampler's op
+// storage. The mapping mirrors RunOnMachineGoroutine's Thread calls
+// op for op: St → Store, Ld → Load, Fence → Fence, RMW(a,v,r) →
+// FetchAdd (old value into r), Wait(n) → an n-tick clock-polling wait.
+func (s *Sampler) compile(p mc.Program, base tso.Addr) {
+	total := 0
+	for _, th := range p.Threads {
+		total += len(th)
+	}
+	if cap(s.ops) >= total {
+		s.ops = s.ops[:total]
+	} else {
+		s.ops = make([]tso.ProgOp, total)
+	}
+	if cap(s.prog.Threads) >= len(p.Threads) {
+		s.prog.Threads = s.prog.Threads[:len(p.Threads)]
+	} else {
+		s.prog.Threads = make([][]tso.ProgOp, len(p.Threads))
+	}
+	next := 0
+	for ti, th := range p.Threads {
+		start := next
+		for _, op := range th {
+			po := tso.ProgOp{}
+			switch op.Kind {
+			case mc.OpStore:
+				po = tso.ProgOp{Kind: tso.POpStore, Addr: base + tso.Addr(op.Addr), Val: tso.Word(op.Val)}
+			case mc.OpLoad:
+				po = tso.ProgOp{Kind: tso.POpLoad, Addr: base + tso.Addr(op.Addr), Reg: op.Reg}
+			case mc.OpFence:
+				po = tso.ProgOp{Kind: tso.POpFence}
+			case mc.OpRMW:
+				po = tso.ProgOp{Kind: tso.POpRMW, Addr: base + tso.Addr(op.Addr), Val: tso.Word(op.Val), Reg: op.Reg}
+			case mc.OpWait:
+				po = tso.ProgOp{Kind: tso.POpWait, Val: tso.Word(op.Val)}
+			}
+			s.ops[next] = po
+			next++
+		}
+		s.prog.Threads[ti] = s.ops[start:next:next]
+	}
+}
+
+// sizeResults (re)dimensions the register scratch for p.
+func (s *Sampler) sizeResults(p mc.Program) {
+	for len(s.regs) < len(p.Threads) {
+		s.regs = append(s.regs, nil)
+		s.ints = append(s.ints, nil)
+	}
+	for th := 0; th < len(p.Threads); th++ {
+		if cap(s.regs[th]) >= p.Regs {
+			s.regs[th] = s.regs[th][:p.Regs]
+		} else {
+			s.regs[th] = make([]tso.Word, p.Regs)
+		}
+		if cap(s.ints[th]) >= p.Regs {
+			s.ints[th] = s.ints[th][:p.Regs]
+		} else {
+			s.ints[th] = make([]int, p.Regs)
+		}
+		for r := 0; r < p.Regs; r++ {
+			s.regs[th][r] = 0
+		}
+	}
+}
+
+// Sample executes p once on the direct-execution engine and returns
+// the outcome in the checker's canonical "T0:r0=1 T1:r0=0" form plus
+// the machine's Result (Stats, ticks). Optional sinks stream the
+// machine's events exactly as on the goroutine engine.
+func (s *Sampler) Sample(p mc.Program, run MachineRun, sinks ...tso.Sink) (string, tso.Result, error) {
+	s.m.Reset(machineConfig(run, sinks))
+	base := s.m.AllocWords(p.Vars)
+	s.compile(p, base)
+	s.sizeResults(p)
+	res := s.m.ExecProgram(s.prog, s.regs)
+	if res.Err != nil {
+		return "", res, res.Err
+	}
+	for th := 0; th < len(p.Threads); th++ {
+		for r := 0; r < p.Regs; r++ {
+			s.ints[th][r] = int(s.regs[th][r])
+		}
+	}
+	s.buf = mc.AppendOutcome(s.buf[:0], s.ints[:len(p.Threads)])
+	return string(s.buf), res, nil
+}
+
+// RunOnMachine executes p once on the clocked abstract machine under
+// run's configuration and returns the outcome in the checker's
+// canonical form. It uses the direct-execution engine; campaigns that
+// sample many programs should hold a Sampler and call Sample to reuse
+// the machine. Optional sinks stream the machine's events (e.g. an
+// obs.Perfetto exporter building a failure trace).
+func RunOnMachine(p mc.Program, run MachineRun, sinks ...tso.Sink) (string, error) {
+	out, _, err := NewSampler().Sample(p, run, sinks...)
+	return out, err
+}
+
+// RunOnMachineGoroutine executes p on the goroutine engine — each
+// thread a Go closure issuing Thread-handle calls — and returns the
+// outcome plus the machine Result. It is the oracle the
+// direct-execution engine is differentially pinned against
+// (TestEngineEquivalence): same (program, run), byte-identical
+// outcome, Stats and event stream.
+func RunOnMachineGoroutine(p mc.Program, run MachineRun, sinks ...tso.Sink) (string, tso.Result, error) {
+	m := tso.New(machineConfig(run, sinks))
 	base := m.AllocWords(p.Vars)
 
 	results := make([][]int, len(p.Threads))
@@ -97,8 +221,9 @@ func RunOnMachine(p mc.Program, run MachineRun, sinks ...tso.Sink) (string, erro
 			}
 		})
 	}
-	if res := m.Run(); res.Err != nil {
-		return "", res.Err
+	res := m.Run()
+	if res.Err != nil {
+		return "", res, res.Err
 	}
-	return mc.FormatOutcome(results), nil
+	return mc.FormatOutcome(results), res, nil
 }

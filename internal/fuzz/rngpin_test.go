@@ -1,0 +1,124 @@
+package fuzz
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"tbtso/internal/tso"
+)
+
+var pinGen = flag.Bool("pin.gen", false, "print the rngpin golden table instead of checking it")
+
+// pinGolden is the pre-interpreter goroutine engine's ground truth,
+// captured at the commit before the direct-execution engine landed.
+type pinEntry struct {
+	progSeed int64
+	delta    uint64
+	machSeed int64
+	outcome  string
+}
+
+var pinGolden = []pinEntry{
+	{18, 0, 1, "T0:r0=0 T0:r1=0 T0:r2=0 T0:r3=0 T1:r0=0 T1:r1=4 T1:r2=3 T1:r3=0 T2:r0=0 T2:r1=2 T2:r2=0 T2:r3=0"},
+	{18, 0, 7, "T0:r0=0 T0:r1=0 T0:r2=0 T0:r3=0 T1:r0=0 T1:r1=4 T1:r2=3 T1:r3=0 T2:r0=0 T2:r1=2 T2:r2=0 T2:r3=0"},
+	{18, 3, 1, "T0:r0=0 T0:r1=0 T0:r2=0 T0:r3=0 T1:r0=0 T1:r1=4 T1:r2=3 T1:r3=0 T2:r0=0 T2:r1=2 T2:r2=0 T2:r3=0"},
+	{18, 3, 7, "T0:r0=0 T0:r1=0 T0:r2=0 T0:r3=0 T1:r0=0 T1:r1=4 T1:r2=3 T1:r3=0 T2:r0=0 T2:r1=2 T2:r2=0 T2:r3=0"},
+	{22, 0, 1, "T0:r0=0 T0:r1=0 T0:r2=2 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0"},
+	{22, 0, 7, "T0:r0=0 T0:r1=0 T0:r2=2 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0"},
+	{22, 3, 1, "T0:r0=0 T0:r1=2 T0:r2=3 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0"},
+	{22, 3, 7, "T0:r0=0 T0:r1=2 T0:r2=3 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0"},
+	{23, 0, 1, "T0:r0=0 T0:r1=1 T0:r2=0 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0 T2:r0=0 T2:r1=0 T2:r2=0 T2:r3=0 T3:r0=0 T3:r1=0 T3:r2=0 T3:r3=0"},
+	{23, 0, 7, "T0:r0=0 T0:r1=1 T0:r2=0 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0 T2:r0=0 T2:r1=0 T2:r2=0 T2:r3=0 T3:r0=0 T3:r1=0 T3:r2=0 T3:r3=0"},
+	{23, 3, 1, "T0:r0=0 T0:r1=1 T0:r2=0 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0 T2:r0=0 T2:r1=0 T2:r2=0 T2:r3=0 T3:r0=0 T3:r1=0 T3:r2=0 T3:r3=0"},
+	{23, 3, 7, "T0:r0=0 T0:r1=1 T0:r2=0 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0 T2:r0=0 T2:r1=0 T2:r2=0 T2:r3=0 T3:r0=0 T3:r1=0 T3:r2=0 T3:r3=0"},
+	{26, 0, 1, "T0:r0=0 T0:r1=4 T0:r2=4 T0:r3=0 T1:r0=2 T1:r1=4 T1:r2=0 T1:r3=0 T2:r0=0 T2:r1=0 T2:r2=0 T2:r3=0"},
+	{26, 0, 7, "T0:r0=0 T0:r1=4 T0:r2=4 T0:r3=0 T1:r0=2 T1:r1=4 T1:r2=0 T1:r3=0 T2:r0=0 T2:r1=0 T2:r2=0 T2:r3=0"},
+	{26, 3, 1, "T0:r0=0 T0:r1=4 T0:r2=4 T0:r3=0 T1:r0=2 T1:r1=4 T1:r2=0 T1:r3=0 T2:r0=0 T2:r1=0 T2:r2=0 T2:r3=0"},
+	{26, 3, 7, "T0:r0=3 T0:r1=4 T0:r2=4 T0:r3=0 T1:r0=2 T1:r1=4 T1:r2=0 T1:r3=0 T2:r0=0 T2:r1=0 T2:r2=0 T2:r3=0"},
+	{27, 0, 1, "T0:r0=0 T0:r1=0 T0:r2=0 T0:r3=0 T1:r0=1 T1:r1=0 T1:r2=0 T1:r3=0"},
+	{27, 0, 7, "T0:r0=0 T0:r1=0 T0:r2=0 T0:r3=0 T1:r0=1 T1:r1=0 T1:r2=0 T1:r3=0"},
+	{27, 3, 1, "T0:r0=0 T0:r1=0 T0:r2=0 T0:r3=0 T1:r0=1 T1:r1=0 T1:r2=0 T1:r3=0"},
+	{27, 3, 7, "T0:r0=0 T0:r1=0 T0:r2=0 T0:r3=0 T1:r0=1 T1:r1=0 T1:r2=0 T1:r3=0"},
+	{30, 0, 1, "T0:r0=0 T0:r1=0 T0:r2=0 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0 T2:r0=3 T2:r1=0 T2:r2=0 T2:r3=0"},
+	{30, 0, 7, "T0:r0=0 T0:r1=0 T0:r2=0 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0 T2:r0=0 T2:r1=0 T2:r2=0 T2:r3=0"},
+	{30, 3, 1, "T0:r0=0 T0:r1=0 T0:r2=0 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0 T2:r0=3 T2:r1=0 T2:r2=0 T2:r3=0"},
+	{30, 3, 7, "T0:r0=0 T0:r1=0 T0:r2=0 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0 T2:r0=0 T2:r1=0 T2:r2=0 T2:r3=0"},
+	{35, 0, 1, "T0:r0=0 T0:r1=0 T0:r2=0 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0"},
+	{35, 0, 7, "T0:r0=3 T0:r1=0 T0:r2=0 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0"},
+	{35, 3, 1, "T0:r0=0 T0:r1=0 T0:r2=0 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0"},
+	{35, 3, 7, "T0:r0=3 T0:r1=0 T0:r2=0 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0"},
+	{43, 0, 1, "T0:r0=0 T0:r1=2 T0:r2=0 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0 T2:r0=2 T2:r1=0 T2:r2=0 T2:r3=0 T3:r0=0 T3:r1=0 T3:r2=0 T3:r3=0"},
+	{43, 0, 7, "T0:r0=0 T0:r1=0 T0:r2=0 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0 T2:r0=2 T2:r1=0 T2:r2=0 T2:r3=0 T3:r0=0 T3:r1=0 T3:r2=0 T3:r3=0"},
+	{43, 3, 1, "T0:r0=0 T0:r1=2 T0:r2=0 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0 T2:r0=2 T2:r1=0 T2:r2=0 T2:r3=0 T3:r0=0 T3:r1=0 T3:r2=0 T3:r3=0"},
+	{43, 3, 7, "T0:r0=0 T0:r1=2 T0:r2=0 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0 T2:r0=2 T2:r1=0 T2:r2=0 T2:r3=0 T3:r0=0 T3:r1=0 T3:r2=0 T3:r3=0"},
+	{51, 0, 1, "T0:r0=0 T0:r1=0 T0:r2=0 T0:r3=0 T1:r0=0 T1:r1=1 T1:r2=0 T1:r3=0 T2:r0=0 T2:r1=0 T2:r2=0 T2:r3=0"},
+	{51, 0, 7, "T0:r0=0 T0:r1=0 T0:r2=0 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0 T2:r0=0 T2:r1=0 T2:r2=0 T2:r3=0"},
+	{51, 3, 1, "T0:r0=0 T0:r1=0 T0:r2=0 T0:r3=0 T1:r0=0 T1:r1=1 T1:r2=0 T1:r3=0 T2:r0=0 T2:r1=0 T2:r2=0 T2:r3=0"},
+	{51, 3, 7, "T0:r0=0 T0:r1=0 T0:r2=0 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0 T2:r0=0 T2:r1=0 T2:r2=0 T2:r3=0"},
+	{54, 0, 1, "T0:r0=0 T0:r1=0 T0:r2=0 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0 T2:r0=0 T2:r1=0 T2:r2=0 T2:r3=0 T3:r0=1 T3:r1=0 T3:r2=0 T3:r3=0"},
+	{54, 0, 7, "T0:r0=0 T0:r1=0 T0:r2=0 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0 T2:r0=0 T2:r1=0 T2:r2=0 T2:r3=0 T3:r0=1 T3:r1=0 T3:r2=0 T3:r3=0"},
+	{54, 3, 1, "T0:r0=0 T0:r1=0 T0:r2=0 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0 T2:r0=0 T2:r1=0 T2:r2=0 T2:r3=0 T3:r0=1 T3:r1=0 T3:r2=0 T3:r3=0"},
+	{54, 3, 7, "T0:r0=0 T0:r1=0 T0:r2=0 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0 T2:r0=0 T2:r1=0 T2:r2=0 T2:r3=0 T3:r0=1 T3:r1=0 T3:r2=0 T3:r3=0"},
+	{59, 0, 1, "T0:r0=0 T0:r1=1 T0:r2=2 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0 T2:r0=0 T2:r1=0 T2:r2=0 T2:r3=0 T3:r0=0 T3:r1=0 T3:r2=0 T3:r3=0"},
+	{59, 0, 7, "T0:r0=0 T0:r1=1 T0:r2=2 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0 T2:r0=3 T2:r1=0 T2:r2=0 T2:r3=0 T3:r0=0 T3:r1=0 T3:r2=0 T3:r3=0"},
+	{59, 3, 1, "T0:r0=0 T0:r1=1 T0:r2=2 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0 T2:r0=0 T2:r1=0 T2:r2=0 T2:r3=0 T3:r0=0 T3:r1=1 T3:r2=0 T3:r3=0"},
+	{59, 3, 7, "T0:r0=0 T0:r1=1 T0:r2=2 T0:r3=0 T1:r0=0 T1:r1=0 T1:r2=0 T1:r3=0 T2:r0=3 T2:r1=0 T2:r2=0 T2:r3=0 T3:r0=0 T3:r1=1 T3:r2=0 T3:r3=0"},
+	{61, 0, 1, "T0:r0=4 T0:r1=0 T0:r2=0 T0:r3=0 T1:r0=3 T1:r1=0 T1:r2=0 T1:r3=0 T2:r0=0 T2:r1=0 T2:r2=0 T2:r3=0"},
+	{61, 0, 7, "T0:r0=4 T0:r1=0 T0:r2=0 T0:r3=0 T1:r0=3 T1:r1=0 T1:r2=0 T1:r3=0 T2:r0=0 T2:r1=0 T2:r2=0 T2:r3=0"},
+	{61, 3, 1, "T0:r0=4 T0:r1=0 T0:r2=0 T0:r3=0 T1:r0=3 T1:r1=0 T1:r2=0 T1:r3=0 T2:r0=0 T2:r1=0 T2:r2=0 T2:r3=0"},
+	{61, 3, 7, "T0:r0=4 T0:r1=0 T0:r2=0 T0:r3=0 T1:r0=3 T1:r1=0 T1:r2=0 T1:r3=0 T2:r0=0 T2:r1=0 T2:r2=0 T2:r3=0"},
+}
+
+// pinRun executes one DrainRandom machine sample exactly the way the
+// differential driver does, so the golden table below pins the seeded
+// scheduler's RNG draw stream: any change to the order or number of
+// draws the machine consumes under the random drain policy shows up
+// here as a changed outcome.
+func pinRun(t *testing.T, progSeed int64, delta uint64, machSeed int64) string {
+	t.Helper()
+	p := Gen(GenConfig{}, progSeed)
+	out, err := RunOnMachine(p, MachineRun{Delta: delta, Policy: tso.DrainRandom, Seed: machSeed})
+	if err != nil {
+		t.Fatalf("seed %d Δ=%d machSeed %d: %v", progSeed, delta, machSeed, err)
+	}
+	return out
+}
+
+// TestRandomPolicySeedStreamPinned asserts that (seed → outcome) pairs
+// for DrainRandom runs are exactly what they were before the
+// direct-execution engine landed: the RNG draw stream documented in
+// docs/PERF.md (per tick: one scheduling permutation, then a stall draw
+// per candidate when StallProb > 0, with the per-buffer drain coin
+// flips preceding the permutation) is consumed identically by the old
+// and new schedulers whenever the random policy is in play. The golden
+// outcomes were captured from the pre-interpreter goroutine engine.
+func TestRandomPolicySeedStreamPinned(t *testing.T) {
+	for _, g := range pinGolden {
+		got := pinRun(t, g.progSeed, g.delta, g.machSeed)
+		if got != g.outcome {
+			t.Errorf("Gen seed %d Δ=%d machSeed %d: outcome %q, pinned %q",
+				g.progSeed, g.delta, g.machSeed, got, g.outcome)
+		}
+	}
+}
+
+// TestPinGoldenGenerate regenerates the golden table source; run with
+//
+//	go test ./internal/fuzz -run TestPinGoldenGenerate -v -pin.gen
+//
+// and paste the output ONLY when an intended scheduler change is
+// documented in docs/PERF.md.
+func TestPinGoldenGenerate(t *testing.T) {
+	if !*pinGen {
+		t.Skip("pass -pin.gen to print the golden table")
+	}
+	for _, progSeed := range []int64{18, 22, 23, 26, 27, 30, 35, 43, 51, 54, 59, 61} {
+		for _, delta := range []uint64{0, 3} {
+			for _, machSeed := range []int64{1, 7} {
+				out := pinRun(t, progSeed, delta, machSeed)
+				fmt.Printf("\t{%d, %d, %d, %q},\n", progSeed, delta, machSeed, out)
+			}
+		}
+	}
+}

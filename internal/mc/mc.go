@@ -27,6 +27,7 @@ package mc
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -213,16 +214,33 @@ func (s *state) outcome() string {
 // sampled executions in the checker's outcome vocabulary.
 func FormatOutcome(regs [][]int) string { return outcomeString(regs) }
 
+// AppendOutcome appends the canonical rendering of regs to dst and
+// returns the extended slice — the allocation-free form of
+// FormatOutcome for hot paths that format an outcome per machine run
+// (fuzz campaigns reuse one buffer across a whole campaign).
+func AppendOutcome(dst []byte, regs [][]int) []byte {
+	first := true
+	for i, rf := range regs {
+		for r, v := range rf {
+			if !first {
+				dst = append(dst, ' ')
+			}
+			first = false
+			dst = append(dst, 'T')
+			dst = strconv.AppendInt(dst, int64(i), 10)
+			dst = append(dst, ':', 'r')
+			dst = strconv.AppendInt(dst, int64(r), 10)
+			dst = append(dst, '=')
+			dst = strconv.AppendInt(dst, int64(v), 10)
+		}
+	}
+	return dst
+}
+
 // outcomeString renders per-thread register files in the package's
 // canonical "T0:r0=1 T1:r0=0" form.
 func outcomeString(regs [][]int) string {
-	var parts []string
-	for i, rf := range regs {
-		for r, v := range rf {
-			parts = append(parts, fmt.Sprintf("T%d:r%d=%d", i, r, v))
-		}
-	}
-	return strings.Join(parts, " ")
+	return string(AppendOutcome(nil, regs))
 }
 
 // DefaultMaxStates bounds an exploration. The parallel engine sustains

@@ -6,15 +6,23 @@ import "fmt"
 // threads finish, MaxTicks elapses, or a thread panics. After the last
 // thread finishes, remaining buffered stores are flushed to memory so
 // the final memory state is a legal completion of the execution.
+//
+// Run is the goroutine engine: each thread is a Go function issuing
+// actions through a *Thread handle and blocking between grants. The
+// direct-execution engine (ExecProgram) drives the same scheduler core
+// over straight-line Prog threads without goroutines; the two engines
+// consume the seeded RNG identically, so a given (workload, Config)
+// produces byte-identical outcomes, Stats and event streams on both.
 func (m *Machine) Run() Result {
 	if m.started {
 		panic("tso: Run called twice")
 	}
 	m.started = true
 	n := len(m.threads)
-	m.sb = make([][]sbEntry, n)
-	m.pending = make([]*request, n)
-	m.drained = make([]bool, n)
+	m.sizeRun(n)
+	if m.halted == nil {
+		m.halted = make(chan struct{})
+	}
 
 	if len(m.sinks) > 0 {
 		names := make([]string, n)
@@ -75,16 +83,22 @@ func (m *Machine) Run() Result {
 			return m.finish()
 		}
 	}
-	// All threads finished; flush remaining buffered stores.
-	for i := range m.sb {
-		for len(m.sb[i]) > 0 {
-			m.commitOldest(i, CauseFinal)
-		}
-	}
+	m.finalFlush()
 	return m.finish()
 }
 
+// finalFlush commits every store still buffered after all threads
+// finished, so the final memory state is a legal completion.
+func (m *Machine) finalFlush() {
+	for i := range m.sb {
+		for m.sb[i].size() > 0 {
+			m.commitOldest(i, CauseFinal)
+		}
+	}
+}
+
 func (m *Machine) finish() Result {
+	m.finished = true
 	err := m.failure()
 	if err != nil {
 		// Halt any thread goroutines still blocked on the machine.
@@ -98,6 +112,21 @@ func (m *Machine) finish() Result {
 // voluntary dequeues per the drain policy, then at most one pending
 // instruction per thread in seeded-random order. A thread whose action
 // this tick was a dequeue does not also execute an instruction.
+//
+// RNG draw stream (documented because replay artifacts and the pinning
+// tests depend on it): per tick the scheduler consumes, in order,
+// (1) one Intn(2) coin per nonempty, lock-free, not-yet-drained buffer
+// when the policy is DrainRandom; (2) the scheduling permutation — the
+// exact draw sequence of rand.Perm(threads), i.e. one Intn(i+1) per
+// thread index; (3) one Float64 stall draw per grant attempt when
+// StallProb > 0 (locked RMW continuations are exempt). Draws that
+// cannot matter are skipped: when StallProb == 0 and the policy is not
+// DrainRandom, the permutation is the tick's only consumer, so ticks
+// with fewer than two grantable instructions skip it entirely — order
+// among fewer than two candidates is immaterial, and with no other
+// consumers no later draw's stream position shifts. Configurations
+// with random drains or stalls keep the historical stream bit-for-bit
+// (TestRandomPolicySeedStreamPinned, TestStallSeedStreamPinned).
 func (m *Machine) tick() {
 	for i := range m.drained {
 		m.drained[i] = false
@@ -106,17 +135,58 @@ func (m *Machine) tick() {
 	m.forcedDrains()
 	m.policyDrains()
 
-	order := m.rng.Perm(len(m.threads))
-	for _, i := range order {
-		r := m.pending[i]
-		if r == nil || m.drained[i] {
+	if m.cfg.StallProb == 0 && m.cfg.Policy != DrainRandom {
+		candidates, single := 0, -1
+		for i := 0; i < m.n; i++ {
+			if m.pending[i] != nil && !m.drained[i] {
+				candidates++
+				single = i
+			}
+		}
+		if candidates == 0 {
+			return
+		}
+		if candidates == 1 {
+			m.grant(single)
+			return
+		}
+	}
+	for _, i := range m.permute() {
+		if m.pending[i] == nil || m.drained[i] {
 			continue
 		}
-		if m.cfg.StallProb > 0 && !r.locked && m.rng.Float64() < m.cfg.StallProb {
-			continue
-		}
-		if m.exec(i, r) {
-			m.pending[i] = nil
+		m.grant(i)
+	}
+}
+
+// permute refills the reusable scheduling permutation with exactly the
+// algorithm (and therefore the RNG draw sequence) of rand.Perm, minus
+// its allocation.
+func (m *Machine) permute() []int {
+	p := m.perm
+	for i := range p {
+		j := m.rng.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// grant offers thread i's pending instruction to the machine: a stall
+// draw may refuse it, and exec may leave it pending (lock busy, buffer
+// nonempty). On completion the response is delivered to whichever
+// engine owns the thread.
+func (m *Machine) grant(i int) {
+	r := m.pending[i]
+	if m.cfg.StallProb > 0 && !r.locked && m.rng.Float64() < m.cfg.StallProb {
+		return
+	}
+	if resp, done := m.exec(i, r); done {
+		m.pending[i] = nil
+		if m.interp {
+			m.progDeliver(i, resp)
+		} else {
+			m.threads[i].reply <- resp
 		}
 	}
 }
@@ -132,18 +202,18 @@ func (m *Machine) osTicks() {
 	if p == 0 {
 		return
 	}
-	n := uint64(len(m.threads))
-	for i := range m.threads {
+	n := uint64(m.n)
+	for i := 0; i < m.n; i++ {
 		phase := uint64(i) * p / n
 		if (m.clock+phase)%p != 0 {
 			continue
 		}
-		for len(m.sb[i]) > 0 {
+		for m.sb[i].size() > 0 {
 			m.commitOldest(i, CauseInterrupt)
 		}
 		m.drained[i] = true // the interrupt consumed this thread's slot
 		if m.cfg.TickBoard != 0 {
-			m.mem[m.cfg.TickBoard+Addr(i)] = Word(m.clock)
+			m.memStore(m.cfg.TickBoard+Addr(i), Word(m.clock))
 		}
 	}
 }
@@ -168,10 +238,10 @@ func (m *Machine) forcedDrains() {
 	}
 	trigger := m.cfg.Delta - m.cfg.DrainMargin
 	for i := range m.sb {
-		if len(m.sb[i]) == 0 {
+		if m.sb[i].size() == 0 {
 			continue
 		}
-		if m.sb[i][0].enq+trigger <= m.clock {
+		if m.sb[i].oldest().enq+trigger <= m.clock {
 			m.commitOldest(i, CauseDelta)
 			if !m.cfg.ParallelDrains {
 				m.drained[i] = true
@@ -183,7 +253,7 @@ func (m *Machine) forcedDrains() {
 // policyDrains performs voluntary dequeues per the configured policy.
 func (m *Machine) policyDrains() {
 	for i := range m.sb {
-		if m.drained[i] || len(m.sb[i]) == 0 || !m.lockFreeFor(i) {
+		if m.drained[i] || m.sb[i].size() == 0 || !m.lockFreeFor(i) {
 			continue
 		}
 		switch m.cfg.Policy {
@@ -206,9 +276,8 @@ func (m *Machine) policyDrains() {
 // commitOldest writes thread i's oldest buffered store to memory,
 // attributing the dequeue to cause.
 func (m *Machine) commitOldest(i int, cause DrainCause) {
-	e := m.sb[i][0]
-	m.sb[i] = m.sb[i][1:]
-	m.mem[e.addr] = e.val
+	e := m.sb[i].pop()
+	m.memStore(e.addr, e.val)
 	m.stats.Commits++
 	m.stats.Drains.add(cause)
 	lat := m.clock - e.enq
@@ -226,23 +295,24 @@ func (m *Machine) commitOldest(i int, cause DrainCause) {
 	}
 }
 
-// exec attempts thread i's pending instruction; it returns true when
-// the instruction completed (and was replied to).
-func (m *Machine) exec(i int, r *request) bool {
+// exec attempts thread i's pending instruction; done reports whether
+// the instruction completed, in which case resp is its result (the
+// caller delivers it to the engine that owns the thread).
+func (m *Machine) exec(i int, r *request) (resp response, done bool) {
 	switch r.kind {
 	case opStore:
 		// Action #6: allowed at any time — except that under TSO[S] a
 		// full buffer must first dequeue its oldest entry (that dequeue
 		// is this tick's action for the thread).
-		if cap := m.cfg.BufferCap; cap > 0 && len(m.sb[i]) >= cap {
+		if cap := m.cfg.BufferCap; cap > 0 && m.sb[i].size() >= cap {
 			if m.lockFreeFor(i) {
 				m.commitOldest(i, CauseCapacity)
 				m.drained[i] = true
 			}
-			return false
+			return response{}, false
 		}
-		m.sb[i] = append(m.sb[i], sbEntry{addr: r.addr, val: r.val, enq: m.clock})
-		if n := len(m.sb[i]); n > m.stats.MaxBufOccupancy {
+		m.sb[i].push(sbEntry{addr: r.addr, val: r.val, enq: m.clock})
+		if n := m.sb[i].size(); n > m.stats.MaxBufOccupancy {
 			m.stats.MaxBufOccupancy = n
 		}
 		m.stats.Stores++
@@ -252,19 +322,17 @@ func (m *Machine) exec(i int, r *request) bool {
 		if len(m.sinks) > 0 {
 			m.emit(Event{Tick: m.clock, Thread: i, Kind: EvStore, Addr: r.addr, Val: r.val})
 		}
-		r.reply <- response{}
-		return true
+		return response{}, true
 
 	case opClock:
 		// Action #7: allowed at any time.
 		m.stats.ClockReads++
-		r.reply <- response{val: Word(m.clock)}
-		return true
+		return response{val: Word(m.clock)}, true
 
 	case opLoad:
 		// Action #2: requires the memory lock free or held by i.
 		if !m.lockFreeFor(i) {
-			return false
+			return response{}, false
 		}
 		v, fromBuf := m.loadFor(i, r.addr)
 		m.stats.Loads++
@@ -277,32 +345,30 @@ func (m *Machine) exec(i int, r *request) bool {
 		if len(m.sinks) > 0 {
 			m.emit(Event{Tick: m.clock, Thread: i, Kind: EvLoad, Addr: r.addr, Val: v})
 		}
-		r.reply <- response{val: v}
-		return true
+		return response{val: v}, true
 
 	case opFence:
 		// Action #5: requires an empty buffer; the memory subsystem
 		// dequeues one entry per tick on the thread's behalf first.
-		if len(m.sb[i]) > 0 {
+		if m.sb[i].size() > 0 {
 			if m.lockFreeFor(i) {
 				m.commitOldest(i, CauseFence)
 				m.drained[i] = true
 			}
-			return false
+			return response{}, false
 		}
 		m.stats.Fences++
 		if len(m.sinks) > 0 {
 			m.emit(Event{Tick: m.clock, Thread: i, Kind: EvFence})
 		}
-		r.reply <- response{}
-		return true
+		return response{}, true
 
 	case opCAS, opFetchAdd, opSwap:
 		return m.execRMW(i, r)
 
 	default:
 		m.fail(fmt.Errorf("tso: unknown op kind %d", r.kind))
-		return true
+		return response{}, true
 	}
 }
 
@@ -311,21 +377,21 @@ func (m *Machine) exec(i int, r *request) bool {
 // nonempty the memory subsystem dequeues one entry per tick (action #1,
 // permitted because the thread holds the lock); the final tick performs
 // the read and write against memory and releases the lock.
-func (m *Machine) execRMW(i int, r *request) bool {
+func (m *Machine) execRMW(i int, r *request) (response, bool) {
 	if !r.locked {
 		if m.holder != -1 {
-			return false // lock busy; retry next tick
+			return response{}, false // lock busy; retry next tick
 		}
 		m.holder = i
 		r.locked = true
-		return false // acquiring the lock was this tick's action
+		return response{}, false // acquiring the lock was this tick's action
 	}
-	if len(m.sb[i]) > 0 {
+	if m.sb[i].size() > 0 {
 		m.commitOldest(i, CauseRMW)
 		m.drained[i] = true
-		return false
+		return response{}, false
 	}
-	old := m.mem[r.addr]
+	old := m.memLoad(r.addr)
 	var (
 		newVal Word
 		wrote  bool
@@ -344,7 +410,7 @@ func (m *Machine) execRMW(i int, r *request) bool {
 		newVal, wrote, retV = r.val, true, old
 	}
 	if wrote {
-		m.mem[r.addr] = newVal
+		m.memStore(r.addr, newVal)
 	} else {
 		newVal = old
 	}
@@ -356,18 +422,17 @@ func (m *Machine) execRMW(i int, r *request) bool {
 	if len(m.sinks) > 0 {
 		m.emit(Event{Tick: m.clock, Thread: i, Kind: EvRMW, Addr: r.addr, Val: newVal})
 	}
-	r.reply <- response{val: retV, ok: ok}
-	return true
+	return response{val: retV, ok: ok}, true
 }
 
 // loadFor implements the TSO read rule: newest matching store-buffer
 // entry wins, otherwise memory.
 func (m *Machine) loadFor(i int, a Addr) (Word, bool) {
-	buf := m.sb[i]
+	buf := m.sb[i].pending()
 	for j := len(buf) - 1; j >= 0; j-- {
 		if buf[j].addr == a {
 			return buf[j].val, true
 		}
 	}
-	return m.mem[a], false
+	return m.memLoad(a), false
 }

@@ -5,9 +5,10 @@ package tso
 // scheduler grants it; the gap between two actions counts as local
 // computation and is free in machine time.
 type Thread struct {
-	m  *Machine
-	id int
-	ts *threadState
+	m   *Machine
+	id  int
+	ts  *threadState
+	req request // reused for every action: the scheduler holds at most one request per thread
 }
 
 // ID returns the thread's index (spawn order, starting at 0).
@@ -19,15 +20,21 @@ func (t *Thread) Name() string { return t.ts.name }
 // Machine returns the machine this thread runs on.
 func (t *Thread) Machine() *Machine { return t.m }
 
-func (t *Thread) do(r *request) response {
-	r.reply = make(chan response, 1)
+// do submits one action and blocks until the scheduler replies. The
+// request struct and the reply channel are per-thread and reused, so a
+// completed action allocates nothing: the scheduler owns t.req from the
+// send until the reply, and never has two outstanding replies for one
+// thread (the reply channel's single buffer slot therefore never
+// blocks the scheduler).
+func (t *Thread) do(kind opKind, addr Addr, val, old Word) response {
+	t.req = request{kind: kind, addr: addr, val: val, old: old}
 	select {
-	case t.ts.req <- r:
+	case t.ts.req <- &t.req:
 	case <-t.m.halted:
 		panic(errHalted)
 	}
 	select {
-	case resp := <-r.reply:
+	case resp := <-t.ts.reply:
 		return resp
 	case <-t.m.halted:
 		panic(errHalted)
@@ -38,13 +45,13 @@ func (t *Thread) do(r *request) response {
 // becomes globally visible when the memory subsystem dequeues it —
 // within Δ ticks on a TBTSO[Δ] machine.
 func (t *Thread) Store(a Addr, v Word) {
-	t.do(&request{kind: opStore, addr: a, val: v})
+	t.do(opStore, a, v, 0)
 }
 
 // Load reads address a (model action #2): the newest matching entry in
 // the thread's own store buffer if one exists, otherwise memory.
 func (t *Thread) Load(a Addr) Word {
-	return t.do(&request{kind: opLoad, addr: a}).val
+	return t.do(opLoad, a, 0, 0).val
 }
 
 // CAS atomically compares memory at a with old and, if equal, writes
@@ -52,32 +59,32 @@ func (t *Thread) Load(a Addr) Word {
 // read-modify-writes it acquires the memory subsystem lock and drains
 // the thread's store buffer, so it doubles as a fence.
 func (t *Thread) CAS(a Addr, old, new Word) bool {
-	return t.do(&request{kind: opCAS, addr: a, old: old, val: new}).ok
+	return t.do(opCAS, a, new, old).ok
 }
 
 // FetchAdd atomically adds delta to memory at a and returns the
 // previous value.
 func (t *Thread) FetchAdd(a Addr, delta Word) Word {
-	return t.do(&request{kind: opFetchAdd, addr: a, val: delta}).val
+	return t.do(opFetchAdd, a, delta, 0).val
 }
 
 // Swap atomically exchanges memory at a with v and returns the previous
 // value.
 func (t *Thread) Swap(a Addr, v Word) Word {
-	return t.do(&request{kind: opSwap, addr: a, val: v}).val
+	return t.do(opSwap, a, v, 0).val
 }
 
 // Fence completes only after the thread's store buffer is empty (model
 // action #5); the memory subsystem dequeues one entry per tick on the
 // thread's behalf, so a fence costs one tick per buffered store.
 func (t *Thread) Fence() {
-	t.do(&request{kind: opFence})
+	t.do(opFence, 0, 0, 0)
 }
 
 // Clock reads the global clock (model action #7). The paper assumes an
 // invariant timestamp counter readable by every thread.
 func (t *Thread) Clock() uint64 {
-	return uint64(t.do(&request{kind: opClock}).val)
+	return uint64(t.do(opClock, 0, 0, 0).val)
 }
 
 // Yield consumes one scheduling slot without touching memory. It is a

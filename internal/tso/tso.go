@@ -263,6 +263,36 @@ type sbEntry struct {
 	enq  uint64 // tick at which the store was enqueued
 }
 
+// storeBuf is a thread's FIFO store buffer: a slice plus a head index,
+// so dequeues do not lose the backing array's capacity the way
+// re-slicing from the front would. The array resets to index 0 every
+// time the buffer empties, which it does constantly under any draining
+// policy — steady-state enqueue/dequeue cycles allocate nothing.
+type storeBuf struct {
+	q    []sbEntry
+	head int
+}
+
+func (b *storeBuf) size() int         { return len(b.q) - b.head }
+func (b *storeBuf) oldest() *sbEntry  { return &b.q[b.head] }
+func (b *storeBuf) push(e sbEntry)    { b.q = append(b.q, e) }
+func (b *storeBuf) pending() []sbEntry { return b.q[b.head:] }
+
+func (b *storeBuf) pop() sbEntry {
+	e := b.q[b.head]
+	b.head++
+	if b.head == len(b.q) {
+		b.q = b.q[:0]
+		b.head = 0
+	}
+	return e
+}
+
+func (b *storeBuf) reset() {
+	b.q = b.q[:0]
+	b.head = 0
+}
+
 type opKind int
 
 const (
@@ -276,11 +306,10 @@ const (
 )
 
 type request struct {
-	kind  opKind
-	addr  Addr
-	val   Word // store value / CAS new / add delta / swap value
-	old   Word // CAS expected
-	reply chan response
+	kind opKind
+	addr Addr
+	val  Word // store value / CAS new / add delta / swap value
+	old  Word // CAS expected
 	// locked marks an RMW that has already acquired the memory
 	// subsystem lock and is waiting for its buffer to drain.
 	locked bool
@@ -292,37 +321,64 @@ type response struct {
 }
 
 type threadState struct {
-	name string
-	fn   func(*Thread)
-	req  chan *request
-	done bool
+	name  string
+	fn    func(*Thread)
+	req   chan *request
+	reply chan response // cap 1; the scheduler never has two outstanding replies for one thread
+	done  bool
 }
 
-// Machine is a TBTSO[Δ] abstract machine. Configure it, Spawn threads,
-// then Run. A Machine is single-use: after Run returns it only supports
-// inspection (PeekWord, Trace, Result).
+// Machine is a TBTSO[Δ] abstract machine. Configure it, Spawn threads
+// (or compile a Prog), then Run (or ExecProgram). After a run finishes
+// the machine supports inspection (PeekWord, Trace, Result) and can be
+// returned to a fresh pre-run state with Reset, reusing its memory,
+// store buffers and scheduler scratch across an entire campaign.
 type Machine struct {
-	cfg     Config
-	mem     map[Addr]Word
-	sb      [][]sbEntry
-	holder  int // memory subsystem lock holder; -1 if free
-	clock   uint64
-	rng     *rand.Rand
+	cfg    Config
+	mem    []Word        // dense machine memory, grown by AllocWords
+	memOv  map[Addr]Word // fallback for addresses never covered by AllocWords
+	sb     []storeBuf
+	holder int // memory subsystem lock holder; -1 if free
+	clock  uint64
+	rng    *rand.Rand
+	src    fastSource // rng's source: stdlib-identical stream, fast re-seeding
+	n      int // thread count of the current run (either engine)
 	threads []*threadState
+	itr     []progThread // direct-execution engine thread states
+	interp  bool         // current run uses the direct-execution engine
 	pending []*request
-	drained []bool // whether thread's action this tick was a dequeue
-	next    Addr   // bump allocator for AllocWords
+	drained []bool  // whether thread's action this tick was a dequeue
+	perm    []int   // reusable scheduler permutation (same draws as rand.Perm)
+	names   []string // cached "T0","T1",... for ExecProgram's RunObservers
+	next    Addr    // bump allocator for AllocWords
 	stats   Stats
-	sinks   []Sink
-	tsink   *traceSink // backs Config.Trace / Machine.Trace
-	halted  chan struct{}
-	haltErr error
-	haltMu  sync.Mutex
-	started bool
+	sinks    []Sink
+	tsink    *traceSink // backs Config.Trace / Machine.Trace
+	halted   chan struct{}
+	haltErr  error
+	haltMu   sync.Mutex
+	started  bool
+	finished bool
 }
 
 // New returns a machine with the given configuration.
 func New(cfg Config) *Machine {
+	m := &Machine{}
+	m.rng = rand.New(&m.src)
+	m.Reset(cfg)
+	return m
+}
+
+// Reset returns the machine to the pre-run state New leaves it in,
+// under a new configuration, reusing every internal buffer it can —
+// memory, store-buffer arrays, scheduler scratch. One machine can
+// therefore be reused across an entire fuzz or bench campaign without
+// per-run allocation (TestInterpSteadyStateZeroAlloc pins this). It
+// panics if called while a run is in progress.
+func (m *Machine) Reset(cfg Config) {
+	if m.started && !m.finished {
+		panic("tso: Reset during Run")
+	}
 	if cfg.MaxTicks == 0 {
 		cfg.MaxTicks = DefaultMaxTicks
 	}
@@ -332,20 +388,88 @@ func New(cfg Config) *Machine {
 	if cfg.Delta > 0 && cfg.DrainMargin >= cfg.Delta {
 		cfg.DrainMargin = cfg.Delta / 2
 	}
-	m := &Machine{
-		cfg:    cfg,
-		mem:    make(map[Addr]Word),
-		holder: -1,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		next:   1, // address 0 reserved as an obvious "null"
-		halted: make(chan struct{}),
+	m.cfg = cfg
+	for i := range m.mem {
+		m.mem[i] = 0
 	}
+	clear(m.memOv)
+	for i := range m.sb {
+		m.sb[i].reset()
+	}
+	m.holder = -1
+	m.clock = 0
+	m.rng.Seed(cfg.Seed)
+	m.threads = m.threads[:0]
+	m.n = 0
+	m.next = 1 // address 0 reserved as an obvious "null"
+	if len(m.mem) == 0 {
+		m.mem = make([]Word, 1)
+	}
+	m.stats = Stats{}
+	m.sinks = m.sinks[:0]
 	m.sinks = append(m.sinks, cfg.Sinks...)
+	m.tsink = nil
 	if cfg.Trace {
 		m.tsink = &traceSink{}
 		m.sinks = append(m.sinks, m.tsink)
 	}
-	return m
+	m.halted = nil // created on demand: only the goroutine engine's threads select on it
+	m.haltErr = nil
+	m.started = false
+	m.finished = false
+}
+
+// memLoad reads machine memory: the dense array when the address is in
+// range, the overflow map (zero for absent entries) otherwise.
+func (m *Machine) memLoad(a Addr) Word {
+	if a < Addr(len(m.mem)) {
+		return m.mem[a]
+	}
+	return m.memOv[a]
+}
+
+// memStore writes machine memory, spilling to the overflow map for
+// addresses outside the dense range.
+func (m *Machine) memStore(a Addr, v Word) {
+	if a < Addr(len(m.mem)) {
+		m.mem[a] = v
+		return
+	}
+	if m.memOv == nil {
+		m.memOv = make(map[Addr]Word)
+	}
+	m.memOv[a] = v
+}
+
+// sizeRun (re)dimensions the per-thread scheduler state for a run with
+// n threads, reusing prior capacity.
+func (m *Machine) sizeRun(n int) {
+	m.n = n
+	if cap(m.sb) >= n {
+		m.sb = m.sb[:n]
+	} else {
+		m.sb = append(m.sb[:cap(m.sb)], make([]storeBuf, n-cap(m.sb))...)
+	}
+	if cap(m.pending) >= n {
+		m.pending = m.pending[:n]
+	} else {
+		m.pending = make([]*request, n)
+	}
+	if cap(m.drained) >= n {
+		m.drained = m.drained[:n]
+	} else {
+		m.drained = make([]bool, n)
+	}
+	if cap(m.perm) >= n {
+		m.perm = m.perm[:n]
+	} else {
+		m.perm = make([]int, n)
+	}
+	for i := 0; i < n; i++ {
+		m.sb[i].reset()
+		m.pending[i] = nil
+		m.drained[i] = false
+	}
 }
 
 // Delta reports the configured bound in ticks (0 = unbounded TSO).
@@ -371,13 +495,25 @@ func (m *Machine) SetTickBoard(board Addr) {
 }
 
 // AllocWords reserves n consecutive words of machine memory and returns
-// the address of the first. It may only be called before Run.
+// the address of the first. The reservation extends the machine's dense
+// memory array, so all allocated addresses are slice-indexed on the hot
+// path; only addresses never covered by an allocation fall back to the
+// overflow map. It may only be called before Run.
 func (m *Machine) AllocWords(n int) Addr {
 	if m.started {
 		panic("tso: AllocWords after Run")
 	}
 	a := m.next
 	m.next += Addr(n)
+	if int(m.next) > len(m.mem) {
+		if int(m.next) <= cap(m.mem) {
+			m.mem = m.mem[:m.next]
+		} else {
+			grown := make([]Word, m.next)
+			copy(grown, m.mem)
+			m.mem = grown
+		}
+	}
 	return a
 }
 
@@ -386,12 +522,22 @@ func (m *Machine) SetWord(a Addr, v Word) {
 	if m.started {
 		panic("tso: SetWord after Run")
 	}
-	m.mem[a] = v
+	m.memStore(a, v)
 }
 
-// PeekWord reads machine memory. It is intended for setup and
-// post-run inspection; calling it during Run races with the scheduler.
-func (m *Machine) PeekWord(a Addr) Word { return m.mem[a] }
+// PeekWord reads machine memory. It is intended for setup and post-run
+// inspection and is panic-free for any address, including ones no
+// AllocWords call ever covered (those read as zero, exactly as an
+// uninitialized word does). Calling it while Run or ExecProgram is in
+// progress races with the scheduler: the goroutine engine's scheduler
+// loop runs concurrently with the caller, so mid-run reads are
+// unsynchronized and may observe torn ordering — inspect only after the
+// run finishes (Machine.Finished reports that).
+func (m *Machine) PeekWord(a Addr) Word { return m.memLoad(a) }
+
+// Finished reports whether a run was started and has completed, i.e.
+// the machine is safe to inspect with PeekWord/Trace.
+func (m *Machine) Finished() bool { return m.started && m.finished }
 
 // Spawn registers a thread program. Threads are numbered in spawn order
 // starting at 0. It may only be called before Run.
@@ -400,7 +546,12 @@ func (m *Machine) Spawn(name string, fn func(*Thread)) int {
 		panic("tso: Spawn after Run")
 	}
 	id := len(m.threads)
-	m.threads = append(m.threads, &threadState{name: name, fn: fn, req: make(chan *request)})
+	m.threads = append(m.threads, &threadState{
+		name:  name,
+		fn:    fn,
+		req:   make(chan *request),
+		reply: make(chan response, 1),
+	})
 	return id
 }
 
@@ -415,7 +566,11 @@ func (m *Machine) fail(err error) {
 	defer m.haltMu.Unlock()
 	if m.haltErr == nil {
 		m.haltErr = err
-		close(m.halted)
+		// halted is nil for direct-execution runs: no thread goroutines
+		// wait on it there, the engine loop polls failure() instead.
+		if m.halted != nil {
+			close(m.halted)
+		}
 	}
 }
 
