@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint verify test race check bench bench-guard bench-compare bench-sim mc-bench sim-bench fuzz-smoke obs-smoke figures figures-quick demos clean
+.PHONY: all build vet lint verify test race check bench bench-guard bench-compare bench-sim mc-bench sim-bench fuzz-smoke obs-smoke interrupt-smoke figures figures-quick demos clean
 
 all: build lint test
 
@@ -63,6 +63,13 @@ bench-sim:
 # violations (docs/OBSERVABILITY.md). CI runs the same sequence.
 obs-smoke:
 	./scripts/obs-smoke.sh
+
+# Interruption smoke: SIGINT a live checkpointed fuzz campaign and a
+# lingering ops endpoint; graceful drain, resumable checkpoint,
+# byte-identical resume, cancellable linger (docs/ROBUSTNESS.md). CI
+# runs the same sequence.
+interrupt-smoke:
+	./scripts/interrupt-smoke.sh
 
 # Model-checker explorer smoke benchmarks: one iteration of each
 # engine/program/Δ cell (sequential vs parallel vs reductions-off).

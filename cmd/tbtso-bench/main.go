@@ -10,9 +10,14 @@
 // The absolute numbers come from this machine and Go's runtime, not the
 // paper's Westmere-EX testbed; EXPERIMENTS.md documents the shape
 // comparison per figure.
+//
+// A first SIGINT/SIGTERM stops at the next figure cell: completed rows
+// are emitted (stamped INTERRUPTED), profiles and obs artifacts flush,
+// and the exit code is 130; a second signal hard-exits.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,65 +28,48 @@ import (
 	"time"
 
 	"tbtso/internal/bench"
+	"tbtso/internal/cli"
 	"tbtso/internal/obs/serve"
 	"tbtso/internal/quiesce"
 	"tbtso/internal/report"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is the whole program; main's os.Exit is the single exit point, so
+// the deferred teardowns — CPU/heap profile flush, obs session finish —
+// run on every path. The old structure os.Exit'ed from inside the
+// profiled region, losing profiles and skipping the obs teardown.
+func run(args []string) (code int) {
+	fs := flag.NewFlagSet("tbtso-bench", flag.ContinueOnError)
 	var (
-		figure  = flag.String("figure", "all", "which figure to regenerate: 4, 5, 6, 7, 8, bailout, scaling, rwlock, sizing, or all")
-		list    = flag.Bool("list", false, "list the available figures and exit")
-		quick   = flag.Bool("quick", false, "CI-scale run sizes")
-		dur     = flag.Duration("dur", 0, "measurement duration per cell (default 400ms, quick 80ms)")
-		threads = flag.Int("threads", 0, "worker threads (default GOMAXPROCS)")
-		buckets = flag.Int("buckets", 0, "hash table buckets (default 1024, quick 128)")
-		runs    = flag.Int("runs", 0, "repetitions per cell, median reported (default 3, quick 1)")
-		mcMax   = flag.Int("mcmaxstates", 0, "-figure mc: state budget per exploration (default mc.DefaultMaxStates); low budgets render (truncated) rows")
-		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-		jsonOut = flag.Bool("json", false, `emit all figures as one JSON document ({"figures": [...]})`)
-		metrics = flag.Bool("metrics", false, "print the harness metrics registry to stderr after the run")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile (post-GC) to this file at exit")
-		compare = flag.String("compare", "", "compare this baseline figure-JSON document against the candidate document named by the positional argument and exit non-zero on regression")
-		cmpTime = flag.Float64("compare.time", 0, "time-regression ratio for -compare (default 2.0)")
-		cmpStat = flag.Float64("compare.states", 0, "states-regression ratio for -compare (default 1.5)")
+		figure  = fs.String("figure", "all", "which figure to regenerate: 4, 5, 6, 7, 8, bailout, scaling, rwlock, sizing, or all")
+		list    = fs.Bool("list", false, "list the available figures and exit")
+		quick   = fs.Bool("quick", false, "CI-scale run sizes")
+		dur     = fs.Duration("dur", 0, "measurement duration per cell (default 400ms, quick 80ms)")
+		threads = fs.Int("threads", 0, "worker threads (default GOMAXPROCS)")
+		buckets = fs.Int("buckets", 0, "hash table buckets (default 1024, quick 128)")
+		runs    = fs.Int("runs", 0, "repetitions per cell, median reported (default 3, quick 1)")
+		mcMax   = fs.Int("mcmaxstates", 0, "-figure mc: state budget per exploration (default mc.DefaultMaxStates); low budgets render (truncated) rows")
+		csv     = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		jsonOut = fs.Bool("json", false, `emit all figures as one JSON document ({"figures": [...]})`)
+		metrics = fs.Bool("metrics", false, "print the harness metrics registry to stderr after the run")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile (post-GC) to this file at exit")
+		compare = fs.String("compare", "", "compare this baseline figure-JSON document against the candidate document named by the positional argument and exit non-zero on regression")
+		cmpTime = fs.Float64("compare.time", 0, "time-regression ratio for -compare (default 2.0)")
+		cmpStat = fs.Float64("compare.states", 0, "states-regression ratio for -compare (default 1.5)")
 	)
 	var obsOpts serve.Options
-	obsOpts.Register(flag.CommandLine)
-	flag.Parse()
+	obsOpts.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *compare != "" {
-		os.Exit(runCompare(*compare, flag.Arg(0), bench.CompareOptions{TimeRatio: *cmpTime, StatesRatio: *cmpStat}))
-	}
-
-	if *cpuProf != "" {
-		f, err := os.Create(*cpuProf)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
-			os.Exit(1)
-		}
-		defer pprof.StopCPUProfile()
-	}
-	if *memProf != "" {
-		defer func() {
-			f, err := os.Create(*memProf)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
-				os.Exit(1)
-			}
-			defer f.Close()
-			runtime.GC() // materialize the live set before snapshotting
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
-				os.Exit(1)
-			}
-		}()
+		return runCompare(*compare, fs.Arg(0), bench.CompareOptions{TimeRatio: *cmpTime, StatesRatio: *cmpStat})
 	}
 
 	if *list {
@@ -99,7 +87,44 @@ func main() {
 		fmt.Println("  sim      machine execution engines + campaign worker scaling: ops/s, runs/s (BENCH_sim.json)")
 		fmt.Println("  sizing   §4.2.1 retirement-rate and R sizing numbers")
 		fmt.Println("  all      4, 5, bailout, 6, 7, 8, sizing")
-		return
+		return 0
+	}
+
+	ctx, stop := cli.SignalContext(context.Background(), os.Stderr)
+	defer stop()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live set before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
 	}
 
 	o := bench.Options{
@@ -109,12 +134,19 @@ func main() {
 		Runs:        *runs,
 		Quick:       *quick,
 		MCMaxStates: *mcMax,
+		Context:     ctx,
 	}
 	sess, err := obsOpts.Start(nil)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "obs: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
+	defer func() {
+		if n := sess.FinishContext(ctx, os.Stderr, "tbtso-bench"); n > 0 && code == 0 {
+			code = 1
+		}
+		code = cli.ExitCode(ctx, code)
+	}()
 	// The harness metrics feed the live ops endpoint; -metrics
 	// additionally prints them at exit.
 	o.Metrics = sess.Registry
@@ -133,7 +165,7 @@ func main() {
 		}
 	}
 
-	run := func(name string) {
+	runFigure := func(name string) bool {
 		start := time.Now()
 		// Accept "fig6"/"figure6" spellings for the numbered figures.
 		name = strings.TrimPrefix(strings.TrimPrefix(name, "figure"), "fig")
@@ -173,18 +205,23 @@ func main() {
 			emit(bench.Sim(o))
 		default:
 			fmt.Fprintf(os.Stderr, "unknown figure %q\n", name)
-			os.Exit(2)
+			return false
 		}
 		fmt.Fprintf(os.Stderr, "[figure %s took %v]\n", name, time.Since(start).Round(time.Millisecond))
+		return true
 	}
 
+	names := strings.Split(*figure, ",")
 	if *figure == "all" {
-		for _, f := range []string{"4", "5", "bailout", "6", "7", "8", "sizing"} {
-			run(f)
+		names = []string{"4", "5", "bailout", "6", "7", "8", "sizing"}
+	}
+	for _, f := range names {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "tbtso-bench: interrupted; remaining figures skipped")
+			break
 		}
-	} else {
-		for _, f := range strings.Split(*figure, ",") {
-			run(strings.TrimSpace(f))
+		if !runFigure(strings.TrimSpace(f)) {
+			return 2
 		}
 	}
 
@@ -193,15 +230,13 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(map[string]any{"figures": figures}); err != nil {
 			fmt.Fprintf(os.Stderr, "encoding figures: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if *metrics {
 		sess.Registry.WriteText(os.Stderr)
 	}
-	if n := sess.Finish(os.Stderr, "tbtso-bench"); n > 0 {
-		os.Exit(1)
-	}
+	return 0
 }
 
 // runCompare diffs the candidate figure-JSON document against the

@@ -9,14 +9,24 @@
 //
 //	tbtso-fuzz -n 10000 -deltas 0,1,3,inf        # campaign
 //	tbtso-fuzz -time 30s -json                   # budgeted, JSON summary
+//	tbtso-fuzz -n 1e6 -ckpt c.json               # checkpointed campaign
+//	tbtso-fuzz -resume c.json                    # continue where it stopped
 //	tbtso-fuzz -plant -out artifacts/            # planted negative controls
 //	tbtso-fuzz -replay artifacts/ffhp-tso.json   # re-check an artifact
 //
+// A first SIGINT/SIGTERM drains gracefully: the campaign stops at a
+// program boundary, writes the checkpoint (with -ckpt/-resume), flushes
+// obs artifacts, and exits 130; a second signal hard-exits. Resuming an
+// interrupted campaign reproduces the uninterrupted report exactly —
+// see docs/ROBUSTNESS.md.
+//
 // Exit status: 0 clean, 1 mismatches found (or a planted control NOT
-// found — the detector lost a violation class), 2 usage errors.
+// found — the detector lost a violation class), 2 usage errors, 130
+// interrupted.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"tbtso/internal/cli"
 	"tbtso/internal/fuzz"
 	"tbtso/internal/obs"
 	"tbtso/internal/obs/serve"
@@ -34,33 +45,56 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is the whole program; main's os.Exit is the single exit point, so
+// every deferred teardown (obs session finish, signal-handler release)
+// always runs — no exit path may bypass them.
+func run(args []string) (code int) {
+	fs := flag.NewFlagSet("tbtso-fuzz", flag.ContinueOnError)
 	var (
-		n          = flag.Int("n", 1000, "program budget: generated programs to check")
-		seed       = flag.Int64("seed", 1, "first generator seed; program i uses seed+i")
-		deltasStr  = flag.String("deltas", "0,1,3", `Δ sweep in checker transitions; "inf" (unbounded TSO) is an alias for 0`)
-		policyStr  = flag.String("policies", "eager,random,adversarial", "machine drain policies sampled per cell")
-		machSeeds  = flag.Int("machseeds", 3, "machine schedules per (Δ, policy) cell")
-		maxStates  = flag.Int("maxstates", 200_000, "state budget per checker exploration; exceeding it truncates (skips) the check")
-		crossCheck = flag.Int("crosscheck", 20_000, "run the sequential reference engine when the parallel exploration is at most this many states (-1 disables)")
-		timeBudget = flag.Duration("time", 0, "wall-clock budget; stops early even if -n remains (0 = none)")
-		workers    = flag.Int("workers", 0, "campaign workers sharding the seed space (0 = GOMAXPROCS, 1 = serial); the report is worker-count independent")
-		shrinkMax  = flag.Int("shrink", 4000, "max shrink attempts (failure-predicate runs) per mismatch")
-		outDir     = flag.String("out", "", "write artifacts (.json, .go.txt, .trace.json) to this directory")
-		plant      = flag.Bool("plant", false, "run the planted negative controls instead of a campaign")
-		replay     = flag.String("replay", "", "replay one artifact JSON file and exit")
-		jsonOut    = flag.Bool("json", false, "emit the summary as JSON on stdout")
-		metrics    = flag.Bool("metrics", false, "print the obs metrics registry to stderr")
-		verbose    = flag.Bool("v", false, "log each mismatch and shrink as it happens")
+		n          = fs.Int("n", 1000, "program budget: generated programs to check")
+		seed       = fs.Int64("seed", 1, "first generator seed; program i uses seed+i")
+		deltasStr  = fs.String("deltas", "0,1,3", `Δ sweep in checker transitions; "inf" (unbounded TSO) is an alias for 0`)
+		policyStr  = fs.String("policies", "eager,random,adversarial", "machine drain policies sampled per cell")
+		machSeeds  = fs.Int("machseeds", 3, "machine schedules per (Δ, policy) cell")
+		maxStates  = fs.Int("maxstates", 200_000, "state budget per checker exploration; exceeding it truncates (skips) the check")
+		crossCheck = fs.Int("crosscheck", 20_000, "run the sequential reference engine when the parallel exploration is at most this many states (-1 disables)")
+		timeBudget = fs.Duration("time", 0, "wall-clock budget; stops early even if -n remains (0 = none; breaks resume byte-identity — see docs/ROBUSTNESS.md)")
+		workers    = fs.Int("workers", 0, "campaign workers sharding the seed space (0 = GOMAXPROCS, 1 = serial); the report is worker-count independent")
+		shrinkMax  = fs.Int("shrink", 4000, "max shrink attempts (failure-predicate runs) per mismatch")
+		outDir     = fs.String("out", "", "write artifacts (.json, .go.txt, .trace.json) to this directory")
+		ckptPath   = fs.String("ckpt", "", "write a campaign checkpoint here periodically and on interruption")
+		ckptEvery  = fs.Int("ckpt.every", 512, "programs between periodic checkpoints (with -ckpt)")
+		resumePath = fs.String("resume", "", "resume an interrupted campaign from this checkpoint (campaign flags must match; continues checkpointing here unless -ckpt overrides)")
+		plant      = fs.Bool("plant", false, "run the planted negative controls instead of a campaign")
+		replay     = fs.String("replay", "", "replay one artifact JSON file and exit")
+		jsonOut    = fs.Bool("json", false, "emit the summary as JSON on stdout")
+		metrics    = fs.Bool("metrics", false, "print the obs metrics registry to stderr")
+		verbose    = fs.Bool("v", false, "log each mismatch and shrink as it happens")
 	)
 	var obsOpts serve.Options
-	obsOpts.Register(flag.CommandLine)
-	flag.Parse()
+	obsOpts.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	ctx, stop := cli.SignalContext(context.Background(), os.Stderr)
+	defer stop()
 
 	sess, err := obsOpts.Start(nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "obs:", err)
-		os.Exit(1)
+		return 1
 	}
+	defer func() {
+		if nv := sess.FinishContext(ctx, os.Stderr, "tbtso-fuzz"); nv > 0 && code == 0 {
+			code = 1
+		}
+		code = cli.ExitCode(ctx, code)
+	}()
+
 	reg := sess.Registry
 	cfg := fuzz.Config{
 		MachSeeds:        *machSeeds,
@@ -72,26 +106,27 @@ func main() {
 	}
 	if cfg.Deltas, err = parseDeltas(*deltasStr); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	if cfg.Policies, err = parsePolicies(*policyStr); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 
-	code := 0
 	switch {
 	case *replay != "":
-		code = replayArtifact(*replay, *jsonOut)
+		return replayArtifact(*replay, *jsonOut)
 	case *plant:
-		code = runPlanted(cfg, reg, *outDir, *shrinkMax, *jsonOut, *metrics)
+		return runPlanted(ctx, cfg, reg, *outDir, *shrinkMax, *jsonOut, *metrics)
 	default:
-		code = runCampaign(cfg, reg, *n, *seed, *timeBudget, *shrinkMax, *outDir, *jsonOut, *metrics, *verbose)
+		camp := campaign{
+			cfg: cfg, reg: reg, n: *n, startSeed: *seed,
+			budget: *timeBudget, shrinkMax: *shrinkMax, outDir: *outDir,
+			ckptPath: *ckptPath, ckptEvery: *ckptEvery, resumePath: *resumePath,
+			jsonOut: *jsonOut, metrics: *metrics, verbose: *verbose,
+		}
+		return camp.run(ctx)
 	}
-	if n := sess.Finish(os.Stderr, "tbtso-fuzz"); n > 0 && code == 0 {
-		code = 1
-	}
-	os.Exit(code)
 }
 
 // parseDeltas accepts "0,1,3,inf": "inf"/"∞" is the unbounded sweep
@@ -142,68 +177,201 @@ type summary struct {
 	FirstSeed   int64    `json:"first_seed"`
 	LastSeed    int64    `json:"last_seed"`
 	ElapsedMS   int64    `json:"elapsed_ms"`
+	// Interrupted marks a summary cut short by a signal or the time
+	// budget (omitted on complete campaigns, so a resumed-to-completion
+	// summary is byte-identical to an uninterrupted one).
+	Interrupted bool `json:"interrupted,omitempty"`
+	// Checkpoint is where the resumable state went when Interrupted.
+	Checkpoint string `json:"checkpoint,omitempty"`
 }
 
-func runCampaign(cfg fuzz.Config, reg *obs.Registry, n int, startSeed int64, budget time.Duration, shrinkMax int, outDir string, jsonOut, metrics, verbose bool) int {
-	start := time.Now()
-	sum := summary{FirstSeed: startSeed, LastSeed: startSeed - 1}
+// campaign is one fuzz campaign invocation: the knobs plus the running
+// totals and shrink queue the checkpoint persists.
+type campaign struct {
+	cfg        fuzz.Config
+	reg        *obs.Registry
+	n          int
+	startSeed  int64
+	budget     time.Duration
+	shrinkMax  int
+	outDir     string
+	ckptPath   string
+	ckptEvery  int
+	resumePath string
+	jsonOut    bool
+	metrics    bool
+	verbose    bool
 
-	// The seed space is consumed in worker-count-sized batches through
-	// the parallel fuzz.Run; between batches the time budget is checked
-	// and throughput gauges published, and any mismatches are shrunk
-	// serially (shrinking re-runs the failure predicate thousands of
-	// times — it stays outside the sharded hot path).
-	workers := cfg.Workers
+	sum     summary
+	done    int            // seeds folded: [startSeed, startSeed+done) are complete
+	pending []fuzz.Mismatch // mismatches from folded seeds, not yet shrunk
+}
+
+// checkpoint persists the campaign's resumable state; a no-op without
+// a checkpoint path.
+func (c *campaign) checkpoint(hash string) {
+	if c.ckptPath == "" {
+		return
+	}
+	ck := &fuzz.Checkpoint{
+		Kind: fuzz.CheckpointKind, ConfigHash: hash,
+		N: c.n, FirstSeed: c.startSeed, NextSeed: c.startSeed + int64(c.done),
+		Programs: c.sum.Programs, Runs: c.sum.Runs, Truncated: c.sum.Truncated,
+		Mismatches: c.sum.Mismatches, ShrinkSteps: c.sum.ShrinkSteps,
+		Artifacts: c.sum.Artifacts,
+	}
+	for _, m := range c.pending {
+		ck.Pending = append(ck.Pending, fuzz.EncodeMismatch(m))
+	}
+	nb, err := fuzz.WriteCheckpoint(c.ckptPath, ck)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tbtso-fuzz: checkpoint:", err)
+		return
+	}
+	c.reg.Counter("fuzz.campaign.checkpoints_written").Add(1)
+	c.reg.Counter("fuzz.campaign.checkpoint_bytes").Add(uint64(nb))
+}
+
+// shrinkOne minimizes a mismatch and writes its artifacts, folding the
+// work into the summary.
+func (c *campaign) shrinkOne(m fuzz.Mismatch) {
+	if c.verbose {
+		fmt.Fprintf(os.Stderr, "MISMATCH %s\n", m)
+	}
+	a := fuzz.ShrinkMismatch(c.cfg, m, c.shrinkMax)
+	c.sum.ShrinkSteps += a.ShrinkSteps
+	c.reg.Counter("fuzz.shrink_steps").Add(uint64(a.ShrinkSteps))
+	name := fmt.Sprintf("mismatch-seed%d-d%d-%s", m.Seed, m.Delta, m.Kind)
+	path, err := writeArtifact(c.outDir, name, a)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	} else if path != "" {
+		c.sum.Artifacts = append(c.sum.Artifacts, path)
+	}
+	if c.verbose || c.outDir == "" {
+		fmt.Fprintln(os.Stderr, a.GoSource("Shrunk"))
+	}
+}
+
+// drainPending shrinks queued mismatches until the queue is empty or
+// ctx cancels; it reports whether the queue fully drained.
+func (c *campaign) drainPending(ctx context.Context) bool {
+	for len(c.pending) > 0 {
+		if ctx.Err() != nil {
+			return false
+		}
+		m := c.pending[0]
+		c.pending = c.pending[1:]
+		c.shrinkOne(m)
+	}
+	return true
+}
+
+func (c *campaign) run(ctx context.Context) int {
+	start := time.Now()
+	hash := c.cfg.CampaignHash(c.n, c.startSeed, c.shrinkMax)
+	c.sum = summary{FirstSeed: c.startSeed, LastSeed: c.startSeed - 1}
+
+	if c.resumePath != "" {
+		ck, err := fuzz.ReadCheckpoint(c.resumePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tbtso-fuzz:", err)
+			return 2
+		}
+		if err := ck.Validate(hash); err != nil {
+			fmt.Fprintln(os.Stderr, "tbtso-fuzz:", err)
+			return 2
+		}
+		if c.pending, err = ck.PendingMismatches(); err != nil {
+			fmt.Fprintln(os.Stderr, "tbtso-fuzz:", err)
+			return 2
+		}
+		c.done = int(ck.NextSeed - ck.FirstSeed)
+		c.sum.Programs, c.sum.Runs, c.sum.Truncated = ck.Programs, ck.Runs, ck.Truncated
+		c.sum.Mismatches, c.sum.ShrinkSteps = ck.Mismatches, ck.ShrinkSteps
+		c.sum.Artifacts = ck.Artifacts
+		c.sum.LastSeed = ck.NextSeed - 1
+		c.reg.Counter("fuzz.resume.skipped_runs").Add(uint64(ck.Runs))
+		if c.ckptPath == "" {
+			c.ckptPath = c.resumePath
+		}
+		fmt.Fprintf(os.Stderr, "tbtso-fuzz: resuming at seed %d (%d/%d programs done, %d pending shrinks)\n",
+			ck.NextSeed, c.done, c.n, len(c.pending))
+	}
+
+	workers := c.cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	reg.Gauge("fuzz.campaign.workers").Set(int64(workers))
+	c.reg.Gauge("fuzz.campaign.workers").Set(int64(workers))
+
+	// A resumed campaign first drains the shrink queue its checkpoint
+	// carried — those mismatches precede every remaining seed, so the
+	// artifact order matches an uninterrupted run's.
+	interrupted := !c.drainPending(ctx)
+
+	// The seed space is consumed in worker-count-sized batches through
+	// the parallel fuzz.RunContext; between batches the time budget is
+	// checked, throughput gauges published, and periodic checkpoints
+	// written. Mismatches are shrunk serially between batches (shrinking
+	// re-runs the failure predicate thousands of times — it stays
+	// outside the sharded hot path); a signal mid-shrink queues the
+	// remainder into the checkpoint instead of finishing it.
 	batch := workers * 4
-	for done := 0; done < n; {
-		if budget > 0 && time.Since(start) > budget {
+	lastCkpt := c.done
+	for !interrupted && c.done < c.n {
+		if c.budget > 0 && time.Since(start) > c.budget {
+			interrupted = true
 			break
 		}
 		b := batch
-		if done+b > n {
-			b = n - done
+		if c.done+b > c.n {
+			b = c.n - c.done
 		}
-		first := startSeed + int64(done)
-		rep := fuzz.Run(cfg, b, first)
-		done += b
-		sum.LastSeed = first + int64(b) - 1
-		sum.Programs += rep.Programs
-		sum.Runs += rep.Runs
-		sum.Truncated += rep.Truncated
-		sum.Mismatches += len(rep.Mismatches)
+		first := c.startSeed + int64(c.done)
+		rep, bdone, err := fuzz.RunContext(ctx, c.cfg, b, first)
+		c.done += bdone
+		c.sum.LastSeed = first + int64(bdone) - 1
+		c.sum.Programs += rep.Programs
+		c.sum.Runs += rep.Runs
+		c.sum.Truncated += rep.Truncated
+		c.sum.Mismatches += len(rep.Mismatches)
 		if sec := time.Since(start).Seconds(); sec > 0 {
-			reg.Gauge("fuzz.campaign.programs_per_sec").Set(int64(float64(sum.Programs) / sec))
-			reg.Gauge("fuzz.campaign.runs_per_sec").Set(int64(float64(sum.Runs) / sec))
+			c.reg.Gauge("fuzz.campaign.programs_per_sec").Set(int64(float64(c.sum.Programs) / sec))
+			c.reg.Gauge("fuzz.campaign.runs_per_sec").Set(int64(float64(c.sum.Runs) / sec))
 		}
-		for _, m := range rep.Mismatches {
-			if verbose {
-				fmt.Fprintf(os.Stderr, "MISMATCH %s\n", m)
-			}
-			a := fuzz.ShrinkMismatch(cfg, m, shrinkMax)
-			sum.ShrinkSteps += a.ShrinkSteps
-			reg.Counter("fuzz.shrink_steps").Add(uint64(a.ShrinkSteps))
-			name := fmt.Sprintf("mismatch-seed%d-d%d-%s", m.Seed, m.Delta, m.Kind)
-			path, err := writeArtifact(outDir, name, a)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-			} else if path != "" {
-				sum.Artifacts = append(sum.Artifacts, path)
-			}
-			if verbose || outDir == "" {
-				fmt.Fprintln(os.Stderr, a.GoSource("Shrunk"))
-			}
+		c.pending = append(c.pending, rep.Mismatches...)
+		if err != nil || !c.drainPending(ctx) {
+			interrupted = true
+			break
+		}
+		if c.ckptPath != "" && c.done-lastCkpt >= c.ckptEvery {
+			c.checkpoint(hash)
+			lastCkpt = c.done
 		}
 	}
-	sum.ElapsedMS = time.Since(start).Milliseconds()
-	emitSummary(sum, jsonOut)
-	if metrics {
-		reg.WriteText(os.Stderr)
+
+	// One final checkpoint: on interruption it carries the resume state
+	// (cursor + unshrunk queue); on completion it records the campaign
+	// as done, so a re-resume is a no-op instead of a rerun.
+	c.checkpoint(hash)
+	c.sum.ElapsedMS = time.Since(start).Milliseconds()
+	if interrupted {
+		c.sum.Interrupted = true
+		c.sum.Checkpoint = c.ckptPath
+		if c.ckptPath != "" {
+			fmt.Fprintf(os.Stderr, "tbtso-fuzz: interrupted at seed %d; resume with -resume %s\n",
+				c.startSeed+int64(c.done), c.ckptPath)
+		} else {
+			fmt.Fprintf(os.Stderr, "tbtso-fuzz: interrupted at seed %d; no -ckpt, progress lost\n",
+				c.startSeed+int64(c.done))
+		}
 	}
-	if sum.Mismatches > 0 {
+	emitSummary(c.sum, c.jsonOut)
+	if c.metrics {
+		c.reg.WriteText(os.Stderr)
+	}
+	if c.sum.Mismatches > 0 {
 		return 1
 	}
 	return 0
@@ -222,10 +390,15 @@ type plantedResult struct {
 	Error       string `json:"error,omitempty"`
 }
 
-func runPlanted(cfg fuzz.Config, reg *obs.Registry, outDir string, shrinkMax int, jsonOut, metrics bool) int {
+func runPlanted(ctx context.Context, cfg fuzz.Config, reg *obs.Registry, outDir string, shrinkMax int, jsonOut, metrics bool) int {
 	failed := false
 	var results []plantedResult
 	for _, pl := range fuzz.PlantedControls() {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "tbtso-fuzz: interrupted; remaining planted controls skipped")
+			failed = true
+			break
+		}
 		r := plantedResult{Name: pl.Name, Delta: pl.Delta}
 		a, err := fuzz.CheckPlanted(pl, cfg.MaxStates, shrinkMax)
 		if err != nil {

@@ -1,0 +1,231 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"tbtso/internal/fuzz"
+	"tbtso/internal/obs/monitor"
+)
+
+// binPath is the tbtso-fuzz binary under test, built once in TestMain —
+// signal delivery and exit codes need a real process, not run().
+var binPath string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "tbtso-fuzz-bin")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	binPath = filepath.Join(dir, "tbtso-fuzz")
+	if out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building tbtso-fuzz: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// campaignFlags is the shared shape of every run in the test: small but
+// long enough that the interrupted run is reliably still going when the
+// first periodic checkpoint appears.
+func campaignFlags(extra ...string) []string {
+	return append([]string{
+		"-n", "2000", "-seed", "11", "-deltas", "0,1", "-machseeds", "2",
+		"-maxstates", "30000", "-crosscheck", "-1", "-shrink", "2000", "-json",
+	}, extra...)
+}
+
+// runFuzz runs the binary to completion and returns (stdout, stderr,
+// exit code).
+func runFuzz(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(binPath, args...)
+	var stdout, stderr []byte
+	stdout, err := cmd.Output()
+	if ee, ok := err.(*exec.ExitError); ok {
+		stderr = ee.Stderr
+		return string(stdout), string(stderr), ee.ExitCode()
+	}
+	if err != nil {
+		t.Fatalf("running %v: %v", args, err)
+	}
+	return string(stdout), "", 0
+}
+
+// TestSigintCheckpointResume interrupts a live parallel campaign with
+// SIGINT mid-flight and asserts the whole graceful-drain contract:
+// exit 130, a valid resumable checkpoint, the unconditional interrupt
+// flight-recorder artifact, and a resumed run (at a different worker
+// count) whose summary is byte-identical to an uninterrupted campaign's
+// once elapsed_ms is zeroed.
+func TestSigintCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess campaign test")
+	}
+	tmp := t.TempDir()
+	ckpt := filepath.Join(tmp, "campaign.ckpt")
+
+	// Baseline: the same campaign, uninterrupted.
+	baseOut, baseErr, code := runFuzz(t, campaignFlags()...)
+	if code != 0 {
+		t.Fatalf("baseline campaign exited %d\nstderr:\n%s", code, baseErr)
+	}
+	var baseline summary
+	if err := json.Unmarshal([]byte(baseOut), &baseline); err != nil {
+		t.Fatalf("baseline summary: %v\n%s", err, baseOut)
+	}
+	if baseline.Interrupted || baseline.Checkpoint != "" {
+		t.Fatalf("uninterrupted summary carries interruption fields: %+v", baseline)
+	}
+
+	// Interrupted: 4 workers, periodic checkpoints, monitors on so the
+	// interrupt flight dump has a recorder to drain.
+	cmd := exec.Command(binPath, campaignFlags(
+		"-workers", "4", "-ckpt", ckpt, "-ckpt.every", "50",
+		"-obs.monitor", "drain", "-obs.flightdir", tmp,
+	)...)
+	outF, err := os.Create(filepath.Join(tmp, "stdout"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer outF.Close()
+	errF, err := os.Create(filepath.Join(tmp, "stderr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer errF.Close()
+	cmd.Stdout, cmd.Stderr = outF, errF
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the first periodic checkpoint (atomic rename: existing
+	// means complete), then SIGINT. The campaign still has most of its
+	// 2000 programs left at that point.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if _, err := fuzz.ReadCheckpoint(ckpt); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatal("no checkpoint appeared within 60s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	err = cmd.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 130 {
+		t.Fatalf("interrupted campaign: err=%v, want exit code 130", err)
+	}
+	stderrB, _ := os.ReadFile(filepath.Join(tmp, "stderr"))
+	if want := "resume with -resume"; !strings.Contains(string(stderrB), want) {
+		t.Errorf("interrupted stderr lacks %q:\n%s", want, stderrB)
+	}
+
+	// The summary admits the interruption and points at the checkpoint.
+	stdoutB, _ := os.ReadFile(filepath.Join(tmp, "stdout"))
+	var cut summary
+	if err := json.Unmarshal(stdoutB, &cut); err != nil {
+		t.Fatalf("interrupted summary: %v\n%s", err, stdoutB)
+	}
+	if !cut.Interrupted || cut.Checkpoint != ckpt {
+		t.Errorf("interrupted summary: Interrupted=%v Checkpoint=%q, want true, %q", cut.Interrupted, cut.Checkpoint, ckpt)
+	}
+	if cut.Programs >= 2000 {
+		t.Errorf("campaign finished (%d programs) before the signal — nothing was interrupted", cut.Programs)
+	}
+
+	// The checkpoint on disk is valid for this campaign's configuration
+	// and resumes from a mid-campaign cursor.
+	ck, err := fuzz.ReadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fuzz.Config{Deltas: []int{0, 1}, MachSeeds: 2, MaxStates: 30000, CrossCheckStates: -1}
+	if err := ck.Validate(cfg.CampaignHash(2000, 11, 2000)); err != nil {
+		t.Fatalf("checkpoint does not validate against the campaign flags: %v", err)
+	}
+	if ck.Done() {
+		t.Error("interrupted checkpoint claims the campaign is done")
+	}
+
+	// The interrupt flight-recorder artifact was dumped unconditionally.
+	ff, err := os.Open(filepath.Join(tmp, "tbtso-fuzz.interrupt.flight.json"))
+	if err != nil {
+		t.Fatalf("interrupt flight artifact: %v", err)
+	}
+	defer ff.Close()
+	if _, err := monitor.ReadFlightDump(ff); err != nil {
+		t.Fatalf("interrupt flight artifact does not parse: %v", err)
+	}
+
+	// Resume at a different worker count: the report is worker-count
+	// independent and the summary must match the uninterrupted baseline
+	// byte-for-byte once wall-clock is zeroed.
+	resOut, resErr, code := runFuzz(t, campaignFlags("-workers", "2", "-resume", ckpt)...)
+	if code != 0 {
+		t.Fatalf("resumed campaign exited %d\nstderr:\n%s", code, resErr)
+	}
+	var resumed summary
+	if err := json.Unmarshal([]byte(resOut), &resumed); err != nil {
+		t.Fatalf("resumed summary: %v\n%s", err, resOut)
+	}
+	baseline.ElapsedMS, resumed.ElapsedMS = 0, 0
+	if !reflect.DeepEqual(baseline, resumed) {
+		t.Errorf("resumed summary differs from uninterrupted baseline:\n got %+v\nwant %+v", resumed, baseline)
+	}
+
+	// A checkpoint from a finished campaign resumes as a no-op.
+	againOut, _, code := runFuzz(t, campaignFlags("-resume", ckpt)...)
+	if code != 0 {
+		t.Fatalf("re-resume of a completed campaign exited %d", code)
+	}
+	var again summary
+	if err := json.Unmarshal([]byte(againOut), &again); err != nil {
+		t.Fatal(err)
+	}
+	again.ElapsedMS = 0
+	if !reflect.DeepEqual(baseline, again) {
+		t.Errorf("no-op re-resume diverged from the baseline:\n got %+v\nwant %+v", again, baseline)
+	}
+}
+
+// TestResumeRejectsForeignConfig pins the guard: a checkpoint must not
+// resume a campaign with different report-affecting flags.
+func TestResumeRejectsForeignConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	tmp := t.TempDir()
+	ckpt := filepath.Join(tmp, "c.ckpt")
+	_, stderr, code := runFuzz(t, "-n", "8", "-seed", "3", "-deltas", "0,1", "-machseeds", "1",
+		"-maxstates", "20000", "-crosscheck", "-1", "-ckpt", ckpt)
+	if code != 0 {
+		t.Fatalf("seed campaign exited %d\n%s", code, stderr)
+	}
+	_, stderr, code = runFuzz(t, "-n", "8", "-seed", "3", "-deltas", "0,1,3", "-machseeds", "1",
+		"-maxstates", "20000", "-crosscheck", "-1", "-resume", ckpt)
+	if code != 2 {
+		t.Fatalf("resume with different -deltas exited %d, want 2\n%s", code, stderr)
+	}
+	if want := "different campaign configuration"; !strings.Contains(stderr, want) {
+		t.Errorf("rejection stderr lacks %q:\n%s", want, stderr)
+	}
+}
+

@@ -10,41 +10,62 @@
 // errors, so the tool slots into Makefiles next to go vet. With
 // -format=json the diagnostics are printed as an array of
 // {file,line,col,check,message} records with module-relative paths,
-// for machine consumption in CI.
+// for machine consumption in CI. SIGINT/SIGTERM during the package
+// load exits 130.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"tbtso/internal/analysis"
+	"tbtso/internal/cli"
 )
 
 func main() {
-	checkFlag := flag.String("check", "", "comma-separated checks to run (default: all of fencefree, requires-fence, escape, mixed)")
-	dirFlag := flag.String("C", ".", "directory inside the module to analyze from")
-	formatFlag := flag.String("format", "text", "output format: text or json")
-	flag.Usage = func() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is the whole program; main's os.Exit is the single exit point.
+func run(args []string) (code int) {
+	fs := flag.NewFlagSet("tbtso-lint", flag.ContinueOnError)
+	checkFlag := fs.String("check", "", "comma-separated checks to run (default: all of fencefree, requires-fence, escape, mixed)")
+	dirFlag := fs.String("C", ".", "directory inside the module to analyze from")
+	formatFlag := fs.String("format", "text", "output format: text or json")
+	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: tbtso-lint [-check list] [-C dir] [-format text|json] [package patterns]\n")
-		flag.PrintDefaults()
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	checks, err := analysis.ParseCheckList(*checkFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tbtso-lint:", err)
-		os.Exit(2)
+		return 2
 	}
 	if *formatFlag != "text" && *formatFlag != "json" {
 		fmt.Fprintf(os.Stderr, "tbtso-lint: unknown format %q (valid: text, json)\n", *formatFlag)
-		os.Exit(2)
+		return 2
 	}
 
-	pkgs, root, err := analysis.LoadModule(*dirFlag, flag.Args()...)
+	ctx, stop := cli.SignalContext(context.Background(), os.Stderr)
+	defer stop()
+	defer func() { code = cli.ExitCode(ctx, code) }()
+
+	pkgs, root, err := analysis.LoadModule(*dirFlag, fs.Args()...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tbtso-lint:", err)
-		os.Exit(2)
+		return 2
+	}
+	if ctx.Err() != nil {
+		// The load dominates the run time; don't report half-analyzed
+		// packages after an interrupt.
+		fmt.Fprintln(os.Stderr, "tbtso-lint: interrupted")
+		return 0
 	}
 
 	a := analysis.Analyzer{Packages: pkgs, Checks: checks}
@@ -53,7 +74,7 @@ func main() {
 	case "json":
 		if err := analysis.WriteDiagnosticsJSON(os.Stdout, diags, root); err != nil {
 			fmt.Fprintln(os.Stderr, "tbtso-lint:", err)
-			os.Exit(2)
+			return 2
 		}
 	default:
 		for _, d := range diags {
@@ -62,6 +83,7 @@ func main() {
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "tbtso-lint: %d problem(s) in %d package(s)\n", len(diags), len(pkgs))
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -12,10 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"tbtso/internal/cli"
 	"tbtso/internal/litmus"
 	"tbtso/internal/machalg"
 	"tbtso/internal/mc"
@@ -24,36 +26,47 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is the whole program; main's os.Exit is the single exit point, so
+// the deferred obs teardown (violation report, flight dump, endpoint
+// stop) runs on every path — early exits used to skip it.
+func run(args []string) (code int) {
+	fs := flag.NewFlagSet("tbtso-sim", flag.ContinueOnError)
 	var (
-		name  = flag.String("test", "", "litmus test name (default: all)")
-		delta = flag.Uint64("delta", 200, "TBTSO Δ bound in ticks (0 = plain TSO)")
-		seeds = flag.Int("seeds", 100, "scheduler seeds per drain policy")
-		stall = flag.Float64("stall", 0, "per-tick thread stall probability")
-		trace = flag.Bool("trace", false, "print the execution trace of seed 0 (adversarial policy)")
-		demo  = flag.String("demo", "", "run a soundness demo: reclaim or deque")
-		exh   = flag.Bool("exhaustive", false, "enumerate ALL executions of the canonical programs with the model checker")
+		name  = fs.String("test", "", "litmus test name (default: all)")
+		delta = fs.Uint64("delta", 200, "TBTSO Δ bound in ticks (0 = plain TSO)")
+		seeds = fs.Int("seeds", 100, "scheduler seeds per drain policy")
+		stall = fs.Float64("stall", 0, "per-tick thread stall probability")
+		trace = fs.Bool("trace", false, "print the execution trace of seed 0 (adversarial policy)")
+		demo  = fs.String("demo", "", "run a soundness demo: reclaim or deque")
+		exh   = fs.Bool("exhaustive", false, "enumerate ALL executions of the canonical programs with the model checker")
 	)
 	var obsOpts serve.Options
-	obsOpts.Register(flag.CommandLine)
-	flag.Parse()
+	obsOpts.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	ctx, stop := cli.SignalContext(context.Background(), os.Stderr)
+	defer stop()
 
 	sess, err := obsOpts.Start(nil)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "obs: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
-	// finish reports monitor violations (folding them into the exit
-	// code), dumps the flight artifact, and stops the ops endpoint.
-	finish := func() {
-		if n := sess.Finish(os.Stderr, "tbtso-sim"); n > 0 {
-			os.Exit(1)
+	defer func() {
+		if n := sess.FinishContext(ctx, os.Stderr, "tbtso-sim"); n > 0 && code == 0 {
+			code = 1
 		}
-	}
+		code = cli.ExitCode(ctx, code)
+	}()
 
 	if *exh {
 		exhaustive()
-		finish()
-		return
+		return 0
 	}
 
 	if *demo != "" {
@@ -64,15 +77,18 @@ func main() {
 			demoDeque()
 		default:
 			fmt.Fprintf(os.Stderr, "unknown demo %q (reclaim, deque)\n", *demo)
-			os.Exit(2)
+			return 2
 		}
-		finish()
-		return
+		return 0
 	}
 
 	all := litmus.All()
 	found := false
 	for _, entry := range all {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "tbtso-sim: interrupted; remaining litmus tests skipped")
+			break
+		}
 		t := entry.Test
 		if *name != "" && t.Name != *name {
 			continue
@@ -115,14 +131,14 @@ func main() {
 			fmt.Println()
 		}
 	}
-	if !found {
+	if !found && ctx.Err() == nil {
 		fmt.Fprintf(os.Stderr, "no litmus test named %q; available:\n", *name)
 		for _, e := range all {
 			fmt.Fprintf(os.Stderr, "  %s\n", e.Test.Name)
 		}
-		os.Exit(2)
+		return 2
 	}
-	finish()
+	return 0
 }
 
 // exhaustive enumerates every execution of the canonical litmus

@@ -15,11 +15,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"tbtso/internal/cli"
 	"tbtso/internal/litmus"
 	"tbtso/internal/machalg"
 	"tbtso/internal/obs"
@@ -28,18 +30,30 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is the whole program; main's os.Exit is the single exit point, so
+// the deferred obs teardown runs on every path. The old structure
+// registered the teardown after the trace-file open (skipping it on
+// open errors) and os.Exit'ed from inside another defer, which
+// abandons any deferred cleanup still pending.
+func run(args []string) (code int) {
+	fs := flag.NewFlagSet("tbtso-trace", flag.ContinueOnError)
 	var (
-		test   = flag.String("test", "", "litmus test name to run (see -list)")
-		demo   = flag.String("demo", "", "machine-algorithm demo to run: reclaim or deque")
-		delta  = flag.Uint64("delta", 50, "TBTSO Δ bound in ticks (0 = plain TSO)")
-		seed   = flag.Int64("seed", 1, "scheduler seed")
-		policy = flag.String("policy", "random", "drain policy: eager, random, or adversarial")
-		out    = flag.String("o", "trace.json", "output trace file")
-		list   = flag.Bool("list", false, "list the available litmus tests and exit")
+		test   = fs.String("test", "", "litmus test name to run (see -list)")
+		demo   = fs.String("demo", "", "machine-algorithm demo to run: reclaim or deque")
+		delta  = fs.Uint64("delta", 50, "TBTSO Δ bound in ticks (0 = plain TSO)")
+		seed   = fs.Int64("seed", 1, "scheduler seed")
+		policy = fs.String("policy", "random", "drain policy: eager, random, or adversarial")
+		out    = fs.String("o", "trace.json", "output trace file")
+		list   = fs.Bool("list", false, "list the available litmus tests and exit")
 	)
 	var obsOpts serve.Options
-	obsOpts.Register(flag.CommandLine)
-	flag.Parse()
+	obsOpts.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		fmt.Println("litmus tests:")
@@ -51,11 +65,11 @@ func main() {
 			fmt.Printf("  %-28s %s%s\n", e.Test.Name, e.Test.Doc, note)
 		}
 		fmt.Println("demos: reclaim, deque")
-		return
+		return 0
 	}
 	if (*test == "") == (*demo == "") {
 		fmt.Fprintln(os.Stderr, "exactly one of -test or -demo is required (try -list)")
-		os.Exit(2)
+		return 2
 	}
 
 	var pol tso.DrainPolicy
@@ -68,26 +82,38 @@ func main() {
 		pol = tso.DrainAdversarial
 	default:
 		fmt.Fprintf(os.Stderr, "unknown drain policy %q\n", *policy)
-		os.Exit(2)
+		return 2
 	}
+
+	ctx, stop := cli.SignalContext(context.Background(), os.Stderr)
+	defer stop()
 
 	sess, err := obsOpts.Start(nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "obs:", err)
-		os.Exit(1)
+		return 1
 	}
+	defer func() {
+		if n := sess.FinishContext(ctx, os.Stderr, "tbtso-trace"); n > 0 && code == 0 {
+			code = 1
+		}
+		code = cli.ExitCode(ctx, code)
+	}()
+
 	reg := sess.Registry
 	perf := obs.NewPerfetto()
 	sinks := append([]tso.Sink{perf, obs.NewMachineMetrics(reg)}, sess.Sinks()...)
 
 	switch {
 	case *test != "":
-		runLitmus(*test, tso.Config{Delta: *delta, Policy: pol, Seed: *seed, Sinks: sinks})
+		if c := runLitmus(*test, tso.Config{Delta: *delta, Policy: pol, Seed: *seed, Sinks: sinks}); c != 0 {
+			return c
+		}
 	case *demo == "reclaim":
 		r := machalg.ReclaimRaceDemo(*delta, machalg.HPFenceFree, sinks...)
 		if r.Err != nil {
 			fmt.Fprintf(os.Stderr, "reclaim demo: %v\n", r.Err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("reclaim race (Δ=%d, FFHP): use-after-free=%v freed-early=%v\n",
 			*delta, r.UseAfterFree, r.FreedEarly)
@@ -97,33 +123,31 @@ func main() {
 			*delta, *seed, r.Duplicated, r.Lost)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown demo %q (want reclaim or deque)\n", *demo)
-		os.Exit(2)
+		return 2
 	}
 
 	f, err := os.Create(*out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
-	defer func() {
-		if n := sess.Finish(os.Stderr, "tbtso-trace"); n > 0 {
-			os.Exit(1)
-		}
-	}()
 	if err := perf.WriteJSON(f); err == nil {
 		err = f.Close()
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "writing %s: %v\n", *out, err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("wrote %s (%d trace events) — open at https://ui.perfetto.dev\n", *out, perf.EventCount())
 
 	fmt.Println("\nmetrics:")
 	reg.WriteText(os.Stdout)
+	return 0
 }
 
-func runLitmus(name string, cfg tso.Config) {
+// runLitmus runs one litmus execution; it returns a process exit code
+// (0 on success) instead of exiting, so deferred teardown still runs.
+func runLitmus(name string, cfg tso.Config) int {
 	for _, e := range litmus.All() {
 		if !strings.EqualFold(e.Test.Name, name) {
 			continue
@@ -131,15 +155,15 @@ func runLitmus(name string, cfg tso.Config) {
 		out, err := litmus.Once(e.Test, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Test.Name, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("%s (Δ=%d, policy=%v, seed=%d): %s\n",
 			e.Test.Name, cfg.Delta, cfg.Policy, cfg.Seed, out.Key())
 		if e.Test.Forbidden != nil && e.Test.Forbidden(out) {
 			fmt.Println("  NOTE: this outcome is forbidden under the test's target model")
 		}
-		return
+		return 0
 	}
 	fmt.Fprintf(os.Stderr, "unknown litmus test %q (try -list)\n", name)
-	os.Exit(2)
+	return 2
 }

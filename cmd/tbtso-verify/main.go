@@ -17,15 +17,21 @@
 //	-suggest-fences for violated pairs, search minimal fence insertions
 //	                restoring plain-TSO soundness
 //	-replay file    re-validate one counterexample artifact and exit
+//	-progress file  persist per-(pair, Δ) sweep progress here on
+//	                interruption; rerunning with the same flags resumes,
+//	                re-certifying only the unfinished cells
 //
 // Patterns default to ./.... Exit status: 0 when every pair's verdict
 // matches its expectation AND matches the committed certificate; 1 on
 // any diagnostic, unexpected verdict, or certificate drift; 2 on usage
-// or load errors.
+// or load errors; 130 when interrupted (first SIGINT/SIGTERM stops at
+// the next Δ cell and saves -progress, a second hard-exits).
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -35,34 +41,46 @@ import (
 
 	"tbtso/internal/analysis"
 	"tbtso/internal/analysis/extract"
+	"tbtso/internal/cli"
+	"tbtso/internal/mc"
 	"tbtso/internal/obs/serve"
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:]))
 }
 
-func run() int {
-	dirFlag := flag.String("C", ".", "directory inside the module to analyze from")
-	certDir := flag.String("certdir", "certs", "certificate directory, relative to the module root")
-	update := flag.Bool("update", false, "rewrite certificates and counterexample artifacts")
-	sweep := flag.Int("sweep", 4, "top of the Δ sweep (Δ runs 1..N)")
-	maxStates := flag.Int("maxstates", 0, "per-exploration state budget (0 = mc default)")
-	formatFlag := flag.String("format", "text", "output format: text or json")
-	suggest := flag.Bool("suggest-fences", false, "for violated pairs, search minimal fence insertions restoring plain-TSO soundness")
-	replay := flag.String("replay", "", "counterexample artifact to re-validate")
+// run is the whole program; main's os.Exit is the single exit point, so
+// the deferred obs teardown runs on every path — the old structure
+// returned straight through it only on the happy path.
+func run(args []string) (code int) {
+	fs := flag.NewFlagSet("tbtso-verify", flag.ContinueOnError)
+	dirFlag := fs.String("C", ".", "directory inside the module to analyze from")
+	certDir := fs.String("certdir", "certs", "certificate directory, relative to the module root")
+	update := fs.Bool("update", false, "rewrite certificates and counterexample artifacts")
+	sweep := fs.Int("sweep", 4, "top of the Δ sweep (Δ runs 1..N)")
+	maxStates := fs.Int("maxstates", 0, "per-exploration state budget (0 = mc default)")
+	formatFlag := fs.String("format", "text", "output format: text or json")
+	suggest := fs.Bool("suggest-fences", false, "for violated pairs, search minimal fence insertions restoring plain-TSO soundness")
+	replay := fs.String("replay", "", "counterexample artifact to re-validate")
+	progressPath := fs.String("progress", "", "sweep-progress file: written on interruption, consumed (and removed) on the resuming run")
 	var obsOpts serve.Options
-	obsOpts.Register(flag.CommandLine)
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tbtso-verify [-C dir] [-certdir dir] [-update] [-sweep N] [-maxstates N] [-format text|json] [-suggest-fences] [-replay file] [package patterns]\n")
-		flag.PrintDefaults()
+	obsOpts.Register(fs)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tbtso-verify [-C dir] [-certdir dir] [-update] [-sweep N] [-maxstates N] [-format text|json] [-suggest-fences] [-replay file] [-progress file] [package patterns]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *formatFlag != "text" && *formatFlag != "json" {
 		fmt.Fprintf(os.Stderr, "tbtso-verify: unknown format %q (valid: text, json)\n", *formatFlag)
 		return 2
 	}
+
+	ctx, stop := cli.SignalContext(context.Background(), os.Stderr)
+	defer stop()
 
 	// The ops endpoint gives long certification sweeps a pprof and
 	// metrics surface; the checker itself runs no monitored machines.
@@ -71,9 +89,14 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "tbtso-verify:", err)
 		return 2
 	}
-	defer sess.Finish(os.Stderr, "tbtso-verify")
+	defer func() {
+		if n := sess.FinishContext(ctx, os.Stderr, "tbtso-verify"); n > 0 && code == 0 {
+			code = 1
+		}
+		code = cli.ExitCode(ctx, code)
+	}()
 
-	pkgs, root, err := analysis.LoadModule(*dirFlag, flag.Args()...)
+	pkgs, root, err := analysis.LoadModule(*dirFlag, fs.Args()...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tbtso-verify:", err)
 		return 2
@@ -95,15 +118,52 @@ func run() int {
 		return replayCex(ex, *replay, opt)
 	}
 
+	// Sweep progress: an interrupted run leaves its completed (pair, Δ)
+	// cells in -progress; the resuming run replays them from the record
+	// instead of re-exploring. The document is keyed by the sweep
+	// options and each pair's content fingerprint, so changed flags or
+	// changed source refuse or miss rather than resume against stale
+	// cells.
+	var prog *extract.SweepProgress
+	if *progressPath != "" {
+		switch p, err := extract.ReadSweepProgress(*progressPath, opt); {
+		case err == nil:
+			prog = p
+			fmt.Fprintf(os.Stderr, "tbtso-verify: resuming sweep progress from %s\n", *progressPath)
+		case os.IsNotExist(err):
+			prog = extract.NewSweepProgress(opt)
+		default:
+			fmt.Fprintf(os.Stderr, "tbtso-verify: -progress %s: %v (delete it to start over)\n", *progressPath, err)
+			return 2
+		}
+	}
+
 	dir := filepath.Join(root, *certDir)
+	interrupted := false
 	var certs []extract.Certificate
 	for _, p := range ex.Pairs {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		if p.Failed {
 			failed = true
 			continue
 		}
-		rep, err := extract.Certify(p, opt)
+		var prior []extract.SweepPoint
+		if prog != nil {
+			prior = prog.Lookup(p)
+			sess.Registry.Counter("verify.resume.skipped_cells").Add(uint64(len(prior)))
+		}
+		rep, done, err := extract.CertifyCtx(ctx, p, opt, prior)
+		if prog != nil && len(done) > 0 {
+			prog.Record(p, done)
+		}
 		if err != nil {
+			if errors.Is(err, mc.ErrInterrupted) {
+				interrupted = true
+				break
+			}
 			fmt.Fprintln(os.Stderr, "tbtso-verify:", err)
 			failed = true
 			continue
@@ -125,6 +185,23 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "tbtso-verify:", err)
 			failed = true
 		}
+	}
+
+	if interrupted {
+		switch {
+		case prog == nil:
+			fmt.Fprintln(os.Stderr, "tbtso-verify: interrupted; no -progress file, sweep progress lost")
+		default:
+			if err := extract.WriteSweepProgress(*progressPath, prog); err != nil {
+				fmt.Fprintf(os.Stderr, "tbtso-verify: writing %s: %v\n", *progressPath, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "tbtso-verify: interrupted; sweep progress saved to %s — rerun with the same flags to resume\n", *progressPath)
+			}
+		}
+	} else if prog != nil {
+		// A completed sweep owes nothing to the next run; leaving the
+		// file would resume a campaign that already finished.
+		os.Remove(*progressPath)
 	}
 
 	if *formatFlag == "json" {

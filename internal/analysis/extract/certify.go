@@ -1,6 +1,7 @@
 package extract
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -168,10 +169,27 @@ func (r *Report) Ok() bool {
 // It fails (no certificate) only on exploration errors — a state-budget
 // truncation or an unassembled pair.
 func Certify(p *Pair, opt Options) (*Report, error) {
+	rep, _, err := CertifyCtx(nil, p, opt, nil)
+	return rep, err
+}
+
+// CertifyCtx is Certify with interruption and resume semantics. The
+// sweep runs in a fixed order — Δ=0, then 1..MaxDelta — and each
+// completed cell is appended to the returned progress slice (index i
+// holds Δ=i). prior is progress from an earlier, interrupted run of the
+// SAME pair under the SAME options (see SweepProgress, which guards
+// both): those cells are reused instead of re-explored, so a resumed
+// sweep re-certifies only the unfinished (pair, Δ) cells. On
+// cancellation the partial progress comes back with a nil Report and an
+// error satisfying errors.Is(err, mc.ErrInterrupted).
+func CertifyCtx(ctx context.Context, p *Pair, opt Options, prior []SweepPoint) (*Report, []SweepPoint, error) {
 	if p.Failed {
-		return nil, fmt.Errorf("pair %s failed extraction; see diagnostics", p.Name)
+		return nil, nil, fmt.Errorf("pair %s failed extraction; see diagnostics", p.Name)
 	}
 	opt = opt.withDefaults()
+	if len(prior) > opt.MaxDelta+1 {
+		prior = prior[:opt.MaxDelta+1]
+	}
 
 	cert := Certificate{
 		Pair:       p.Name,
@@ -191,7 +209,20 @@ func Certify(p *Pair, opt Options) (*Report, error) {
 		cert.Expect = ExpectFail
 	}
 
+	// explore computes the cell at delta, reusing a prior run's point
+	// when one was recorded. Reused cells are validated against the
+	// sweep order — a prior slice from a different options shape never
+	// silently shifts a Δ.
 	explore := func(delta int) (SweepPoint, error) {
+		if delta < len(prior) {
+			if prior[delta].Delta != delta {
+				return SweepPoint{}, fmt.Errorf("pair %s: sweep progress[%d] holds Δ=%d; progress document corrupt", p.Name, delta, prior[delta].Delta)
+			}
+			return prior[delta], nil
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return SweepPoint{}, fmt.Errorf("pair %s at Δ=%d: %w", p.Name, delta, &mc.InterruptedError{Shape: "sweep", Cause: ctx.Err()})
+		}
 		wait := delta + 1
 		if delta == 0 {
 			// Under unbounded TSO no finite wait helps; a token wait
@@ -200,7 +231,7 @@ func Certify(p *Pair, opt Options) (*Report, error) {
 		}
 		prog := p.Instantiate(wait)
 		res, err := mc.ExploreParallel(prog, delta, mc.Options{
-			MaxStates: opt.MaxStates, Workers: opt.Workers, Metrics: opt.Metrics,
+			MaxStates: opt.MaxStates, Workers: opt.Workers, Metrics: opt.Metrics, Context: ctx,
 		})
 		if err != nil {
 			return SweepPoint{}, fmt.Errorf("pair %s at Δ=%d: %w", p.Name, delta, err)
@@ -219,16 +250,19 @@ func Certify(p *Pair, opt Options) (*Report, error) {
 		return pt, nil
 	}
 
+	var done []SweepPoint
 	var err error
 	if cert.TSO, err = explore(0); err != nil {
-		return nil, err
+		return nil, done, err
 	}
+	done = append(done, cert.TSO)
 	firstFail := 0
 	for d := 1; d <= opt.MaxDelta; d++ {
 		pt, err := explore(d)
 		if err != nil {
-			return nil, err
+			return nil, done, err
 		}
+		done = append(done, pt)
 		cert.Sweep = append(cert.Sweep, pt)
 		if pt.Holds && cert.CertifiedDelta == 0 {
 			cert.CertifiedDelta = d
@@ -238,6 +272,10 @@ func Certify(p *Pair, opt Options) (*Report, error) {
 		}
 	}
 
+	// The sweep is complete; the cheap verdict assembly below (plus the
+	// machine-witness search for violated pairs) runs to completion even
+	// under a late cancellation, so a fully-explored pair always yields
+	// its certificate.
 	rep := &Report{}
 	switch {
 	case p.ExpectFail:
@@ -262,7 +300,7 @@ func Certify(p *Pair, opt Options) (*Report, error) {
 		cert.Program = fuzz.EncodeProgram(p.Instantiate(cert.CertifiedDelta + 1))
 	}
 	rep.Cert = cert
-	return rep, nil
+	return rep, done, nil
 }
 
 func renderOps(ops []AbsOp) []string {

@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -48,6 +49,28 @@ type Options struct {
 	// counters ("smr.<name>.*") and biased-lock counters
 	// ("lock.<name>.*"). Totals accumulate across cells.
 	Metrics *obs.Registry
+	// Context, when non-nil, cancels the figure mid-flight: drivers
+	// check it between cells and return the partial table (completed
+	// rows only, marked with an INTERRUPTED note) instead of running
+	// to completion. nil means run to completion.
+	Context context.Context
+}
+
+// interrupted reports whether the figure's context has been cancelled.
+// Drivers call it at cell boundaries — a cell in flight always
+// finishes, so every emitted row is a real measurement.
+func (o Options) interrupted() bool {
+	return o.Context != nil && o.Context.Err() != nil
+}
+
+// markInterrupted stamps a partially-built table when the figure was
+// cut short, so a truncated document can never be mistaken for a
+// complete baseline.
+func (o Options) markInterrupted(t *report.Table) *report.Table {
+	if o.interrupted() {
+		t.AddNote("INTERRUPTED — figure cancelled mid-flight; rows below the last completed cell are missing")
+	}
+	return t
 }
 
 // Defaults fills zero fields.
@@ -110,11 +133,14 @@ func Figure4(o Options) *report.Table {
 		rounds = 100
 	}
 	for _, n := range counts {
+		if o.interrupted() {
+			break
+		}
 		pt := quiesce.QuiescenceLatency(p, n, rounds)
 		t.AddRow(n, pt.QuiesceAvg, pt.QuiesceMax, pt.NormalAvg, fmt.Sprintf("%.0f×", pt.SlowdownVsN))
 	}
 	t.AddNote("paper: ≈5 µs per quiescer, ≈600× a normal op, near-linear growth to ≈400 µs at 80 threads")
-	return t
+	return o.markInterrupted(t)
 }
 
 // Figure5 regenerates the store-buffering-time CDF by thread placement
@@ -132,6 +158,9 @@ func Figure5(o Options) *report.Table {
 		"placement", "load", "p50", "p99", "p99.9", "max")
 	for _, pl := range []quiesce.Placement{quiesce.PlacementSMT, quiesce.PlacementSameSocket, quiesce.PlacementCrossSocket} {
 		for _, load := range []quiesce.Load{quiesce.LoadIdle, quiesce.LoadStream} {
+			if o.interrupted() {
+				break
+			}
 			h := quiesce.StoreVisibilityCDF(p, pl, load, samples)
 			t.AddRow(pl, load,
 				time.Duration(h.Quantile(0.5)),
@@ -143,7 +172,7 @@ func Figure5(o Options) *report.Table {
 	t.AddNote("paper: 99.9%% of stores visible within 10 µs across all placements")
 	t.AddNote("Δ estimate from model: %v for 80 hw threads; τ ≈ %v",
 		quiesce.EstimateDelta(p, 80), quiesce.EstimateTimeout(p))
-	return t
+	return o.markInterrupted(t)
 }
 
 // Figure5CDF returns the raw CDF points for one placement/load pair
@@ -169,12 +198,15 @@ func MachineCost(o Options) *report.Table {
 		"L", "mode", "ticks/op", "fences", "hp stores")
 	for _, listLen := range []int{4, 32} {
 		for _, mode := range []machalg.HPMode{machalg.HPNone, machalg.HPFenceFree, machalg.HPFenced} {
+			if o.interrupted() {
+				break
+			}
 			r := machalg.LookupCost(mode, listLen, lookups, 1)
 			t.AddRow(listLen, mode, fmt.Sprintf("%.1f", r.TicksPerOp), r.Fences, r.Stores)
 		}
 	}
 	t.AddNote("validation loads cost a full tick here but are near-free cache hits on hardware; the machine therefore UNDERSTATES FFHP's advantage, while native Go overstates publication cost — the two bracket the paper's result")
-	return t
+	return o.markInterrupted(t)
 }
 
 // Bailout validates the §6.1 hardware design end to end in the timing
@@ -196,11 +228,14 @@ func Bailout(o Options) *report.Table {
 		"placement", "load", "bailout rate", "p99.9", "max visible", "Δ budget", "within Δ")
 	for _, pl := range []quiesce.Placement{quiesce.PlacementSMT, quiesce.PlacementSameSocket, quiesce.PlacementCrossSocket} {
 		for _, load := range []quiesce.Load{quiesce.LoadIdle, quiesce.LoadStream} {
+			if o.interrupted() {
+				break
+			}
 			r := quiesce.WithBailout(p, pl, load, samples, tau, 80, 80)
 			t.AddRow(pl, load, fmt.Sprintf("%.5f%%", r.BailoutRate*100),
 				r.P999, r.MaxVisible, r.DeltaBudget, r.WithinBudget)
 		}
 	}
 	t.AddNote("the unbounded tail of Figure 5 is clipped to τ + quiescence cost — the store buffering time bound TBTSO needs")
-	return t
+	return o.markInterrupted(t)
 }

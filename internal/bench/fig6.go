@@ -292,6 +292,9 @@ func Figure6Scaling(o Options) *report.Table {
 	for _, n := range counts {
 		var ffhp float64
 		for _, kind := range []smr.Kind{smr.KindFFHP, smr.KindHP, smr.KindRCU} {
+			if o.interrupted() {
+				break
+			}
 			rates := make([]float64, 0, o.Runs)
 			for run := 0; run < o.Runs; run++ {
 				res := runTable(tableConfig{
@@ -314,7 +317,7 @@ func Figure6Scaling(o Options) *report.Table {
 		}
 	}
 	t.AddNote("goroutines beyond the host's cores add concurrency, not parallelism; the paper scales to 80 hardware threads")
-	return t
+	return o.markInterrupted(t)
 }
 
 // Figure6 regenerates the hash-table throughput comparison: read-only
@@ -336,6 +339,9 @@ func Figure6(o Options) *report.Table {
 		for _, L := range chains {
 			var ffhpRate float64
 			for _, kind := range Figure6Schemes() {
+				if o.interrupted() {
+					break
+				}
 				rates := make([]float64, 0, o.Runs)
 				upRates := make([]float64, 0, o.Runs)
 				var viol uint64
@@ -368,5 +374,5 @@ func Figure6(o Options) *report.Table {
 		}
 	}
 	t.AddNote("paper (Westmere-EX): FFHP ≈ RCU, 30%% over HP read-only; DTA −30%% on short ops; StackTrack splits on long ops; DTA updates >100× slower")
-	return t
+	return o.markInterrupted(t)
 }

@@ -37,6 +37,9 @@ func Figure7(o Options) *report.Table {
 	for _, stall := range stalls {
 		var ffhp float64
 		for _, kind := range Figure7Schemes() {
+			if o.interrupted() {
+				break
+			}
 			peaks := make([]float64, 0, o.Runs)
 			for run := 0; run < o.Runs; run++ {
 				res := runTable(tableConfig{
@@ -63,5 +66,5 @@ func Figure7(o Options) *report.Table {
 		}
 	}
 	t.AddNote("paper: FFHP ≤ +7%% over HP; RCU +40%% at zero stall, growing to 2–6× FFHP at max stall")
-	return t
+	return o.markInterrupted(t)
 }

@@ -138,6 +138,9 @@ func Figure8(o Options) *report.Table {
 	for _, pat := range workload.Patterns() {
 		var baseOwner, baseOther float64
 		for _, mk := range locks {
+			if o.interrupted() {
+				break
+			}
 			owners := make([]float64, 0, o.Runs)
 			others := make([]float64, 0, o.Runs)
 			var name string
@@ -162,5 +165,5 @@ func Figure8(o Options) *report.Table {
 		}
 	}
 	t.AddNote("paper: biased owners beat pthread 5–10%% when non-owners are rare; no-echo FFBL collapses as non-owner frequency rises; under owner stalls FFBL beats the safe-point lock 7–50×")
-	return t
+	return o.markInterrupted(t)
 }

@@ -133,8 +133,11 @@ func MCExplorer(o Options) *report.Table {
 
 	for _, mp := range mcPrograms(o.Quick) {
 		for _, d := range mp.deltas {
+			if o.interrupted() {
+				break
+			}
 			run(mp.name, mp.p, d)
 		}
 	}
-	return t
+	return o.markInterrupted(t)
 }

@@ -107,6 +107,9 @@ func RWLock(o Options) *report.Table {
 		"writer rate", "lock", "reader ops/s", "writer ops/s")
 	for _, writerMean := range []time.Duration{10 * time.Millisecond, 200 * time.Microsecond} {
 		for i := range mk() {
+			if o.interrupted() {
+				break
+			}
 			var rRates, wRates []float64
 			var name string
 			for run := 0; run < o.Runs; run++ {
@@ -120,5 +123,5 @@ func RWLock(o Options) *report.Table {
 		}
 	}
 	t.AddNote("the writer pays the visibility bound per acquisition; readers pay no fence and no RMW — Liu et al. [23] with Δ in place of IPIs")
-	return t
+	return o.markInterrupted(t)
 }

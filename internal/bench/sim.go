@@ -66,6 +66,9 @@ func Sim(o Options) *report.Table {
 		{4, tso.DrainAdversarial},
 	}
 	for _, c := range cells {
+		if o.interrupted() {
+			break
+		}
 		// Goroutine engine first: it is the yardstick the direct rows'
 		// speedup is measured against.
 		var gOps, gRuns uint64
@@ -117,6 +120,9 @@ func Sim(o Options) *report.Table {
 	// and candidate documents always have the same rows.
 	var baseTime time.Duration
 	for _, workers := range []int{1, 2, 4, 8} {
+		if o.interrupted() {
+			break
+		}
 		cfg := fuzz.Config{Workers: workers}
 		start := time.Now()
 		rep := fuzz.Run(cfg, campaignN, 1)
@@ -130,5 +136,5 @@ func Sim(o Options) *report.Table {
 			el.Round(time.Microsecond).String(),
 			fmt.Sprintf("%.1fx", float64(baseTime)/float64(el)))
 	}
-	return t
+	return o.markInterrupted(t)
 }

@@ -1,0 +1,69 @@
+// Package cli holds the process-lifecycle plumbing shared by the six
+// tbtso commands: the SIGINT/SIGTERM handler that turns the first
+// signal into a context cancellation (graceful drain: running engines
+// stop at their next cooperative check, artifacts and checkpoints are
+// flushed, the obs session tears down) and the second into a hard
+// exit, plus the exit-code conventions. Every command routes through a
+// single `run() int` whose value feeds the one os.Exit in main, so no
+// exit path can skip deferred cleanup. See docs/ROBUSTNESS.md.
+package cli
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// Exit codes shared by the commands. 0/1/2 follow the pre-existing
+// per-command conventions (clean / findings / usage error); interrupted
+// runs use 128+SIGINT so CI and shells can tell "stopped on request,
+// partial artifacts are valid" from "found something".
+const (
+	// ExitInterrupted is returned by a run that drained gracefully
+	// after the first SIGINT/SIGTERM (and by the hard second-signal
+	// exit): 130 = 128 + SIGINT, the shell convention.
+	ExitInterrupted = 130
+)
+
+// SignalContext returns a context cancelled by the first SIGINT or
+// SIGTERM. The second signal hard-exits the process with
+// ExitInterrupted — the escape hatch when the graceful drain itself
+// hangs. Notes are written to w (pass os.Stderr). The returned stop
+// function releases the signal handler (restoring default delivery)
+// and cancels the context.
+func SignalContext(parent context.Context, w io.Writer) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		select {
+		case s := <-ch:
+			fmt.Fprintf(w, "interrupted (%v): draining and flushing artifacts; a second signal forces exit\n", s)
+			cancel()
+		case <-ctx.Done():
+			signal.Stop(ch)
+			return
+		}
+		s := <-ch
+		fmt.Fprintf(w, "second signal (%v): hard exit\n", s)
+		os.Exit(ExitInterrupted)
+	}()
+	return ctx, func() {
+		signal.Stop(ch)
+		cancel()
+	}
+}
+
+// ExitCode folds interruption into a command's exit code: a run that
+// was interrupted never reports success, so a cancelled context turns
+// code 0 (and code 1, "findings", whose findings are partial) into
+// ExitInterrupted; usage errors (2) pass through.
+func ExitCode(ctx context.Context, code int) int {
+	if ctx.Err() != nil && code <= 1 {
+		return ExitInterrupted
+	}
+	return code
+}

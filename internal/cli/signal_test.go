@@ -1,0 +1,65 @@
+package cli
+
+import (
+	"context"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSignalContextCancelsOnSignal delivers a real SIGINT to the
+// process and asserts the context cancels (the second-signal hard-exit
+// path is exercised by the subprocess tests in cmd/tbtso-fuzz).
+func TestSignalContextCancelsOnSignal(t *testing.T) {
+	var buf strings.Builder
+	ctx, stop := SignalContext(context.Background(), &buf)
+	defer stop()
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not cancelled within 5s of SIGINT")
+	}
+	if !strings.Contains(buf.String(), "interrupted") {
+		t.Fatalf("no interruption note written, got %q", buf.String())
+	}
+}
+
+// TestSignalContextStop releases the handler without a signal.
+func TestSignalContextStop(t *testing.T) {
+	ctx, stop := SignalContext(context.Background(), &strings.Builder{})
+	stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("stop did not cancel the context")
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	live := context.Background()
+	gone, cancel := context.WithCancel(live)
+	cancel()
+	cases := []struct {
+		ctx  context.Context
+		code int
+		want int
+	}{
+		{live, 0, 0},
+		{live, 1, 1},
+		{live, 2, 2},
+		{gone, 0, ExitInterrupted},
+		{gone, 1, ExitInterrupted},
+		{gone, 2, 2}, // usage errors pass through
+		{gone, ExitInterrupted, ExitInterrupted},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.ctx, c.code); got != c.want {
+			t.Errorf("ExitCode(ctxErr=%v, %d) = %d, want %d", c.ctx.Err(), c.code, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package fuzz
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"tbtso/internal/mc"
+	"tbtso/internal/tso"
+)
+
+func ckptProg() mc.Program {
+	return mc.Program{
+		Threads: [][]mc.Op{
+			{mc.St(0, 1), mc.Ld(1, 0)},
+			{mc.St(1, 1), mc.Ld(0, 0)},
+		},
+		Vars: 2, Regs: 1,
+	}
+}
+
+// TestRunContextPrefixResume pins the resume property RunContext's doc
+// comment promises: interrupt a campaign anywhere, rerun the remaining
+// seeds, fold the two reports — the result equals the uninterrupted
+// campaign exactly.
+func TestRunContextPrefixResume(t *testing.T) {
+	cfg := Config{
+		Deltas:           []int{0, 1},
+		MachSeeds:        1,
+		MaxStates:        40_000,
+		CrossCheckStates: -1,
+	}
+	const n = 60
+	const startSeed = int64(7)
+	baseline := Run(cfg, n, startSeed)
+
+	for _, workers := range []int{1, 4} {
+		wcfg := cfg
+		wcfg.Workers = workers
+
+		// Pre-cancelled context: nothing runs, everything resumes.
+		gone, cancel := context.WithCancel(context.Background())
+		cancel()
+		rep, done, err := RunContext(gone, wcfg, n, startSeed)
+		if err == nil {
+			t.Fatalf("workers=%d: pre-cancelled RunContext returned nil error", workers)
+		}
+		if done != 0 || rep.Programs != 0 {
+			t.Fatalf("workers=%d: pre-cancelled RunContext did work: done=%d programs=%d", workers, done, rep.Programs)
+		}
+
+		// Mid-flight cancellations at assorted points: whatever prefix
+		// completed, prefix + resumed remainder must equal the baseline.
+		for trial := 0; trial < 4; trial++ {
+			ctx, cancel := context.WithCancel(context.Background())
+			go func(d time.Duration) {
+				time.Sleep(d)
+				cancel()
+			}(time.Duration(trial*3) * time.Millisecond)
+			part, done, _ := RunContext(ctx, wcfg, n, startSeed)
+			cancel()
+			if done < 0 || done > n {
+				t.Fatalf("workers=%d trial=%d: done=%d out of range", workers, trial, done)
+			}
+			if part.Programs != done {
+				t.Fatalf("workers=%d trial=%d: partial report has %d programs, done=%d",
+					workers, trial, part.Programs, done)
+			}
+			rest, rdone, rerr := RunContext(nil, wcfg, n-done, startSeed+int64(done))
+			if rerr != nil || rdone != n-done {
+				t.Fatalf("workers=%d trial=%d: resume incomplete: done=%d err=%v", workers, trial, rdone, rerr)
+			}
+			part.Add(rest)
+			if !reflect.DeepEqual(part, baseline) {
+				t.Errorf("workers=%d trial=%d (interrupted at %d): interrupted+resumed report differs from uninterrupted baseline",
+					workers, trial, done)
+			}
+		}
+	}
+}
+
+// TestRunContextComplete: with a live context the context-aware entry
+// point matches plain Run exactly and reports a full prefix.
+func TestRunContextComplete(t *testing.T) {
+	cfg := Config{Deltas: []int{0, 1}, MachSeeds: 1, CrossCheckStates: -1, Workers: 4}
+	baseline := Run(cfg, 30, 3)
+	rep, done, err := RunContext(context.Background(), cfg, 30, 3)
+	if err != nil || done != 30 {
+		t.Fatalf("complete run: done=%d err=%v", done, err)
+	}
+	if !reflect.DeepEqual(rep, baseline) {
+		t.Error("RunContext with live context differs from Run")
+	}
+}
+
+func sampleMismatches() []Mismatch {
+	return []Mismatch{
+		{
+			Kind: KindSampledOutcome, Seed: 42, Delta: 1, Cover: 9,
+			Policy: tso.DrainAdversarial, MachSeed: 3,
+			Outcome: "r0=1 r1=0", Detail: "outcome outside exhaustive set",
+			Program: ckptProg(),
+		},
+		{
+			Kind: KindEngineDivergence, Seed: 43, Delta: 0,
+			Detail: "parallel/sequential outcome sets differ",
+			Program: ckptProg(),
+		},
+		{
+			Kind: KindMachineError, Seed: 44, Delta: 3, Cover: 15,
+			Policy: tso.DrainEager, MachSeed: 1,
+			Detail: "machine fault: deadlock",
+			Program: ckptProg(),
+		},
+	}
+}
+
+func TestMismatchWireRoundTrip(t *testing.T) {
+	for _, m := range sampleMismatches() {
+		mj := EncodeMismatch(m)
+		if m.Kind == KindEngineDivergence && mj.Policy != "" {
+			t.Errorf("engine-divergence mismatch encoded policy %q, want empty", mj.Policy)
+		}
+		back, err := DecodeMismatch(mj)
+		if err != nil {
+			t.Fatalf("decode %s: %v", m.Kind, err)
+		}
+		if !reflect.DeepEqual(back, m) {
+			t.Errorf("%s: wire round trip mutated the mismatch:\n got %+v\nwant %+v", m.Kind, back, m)
+		}
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cfg := Config{Deltas: []int{0, 1}, MachSeeds: 1}
+	hash := cfg.CampaignHash(500, 7, 400)
+	ck := &Checkpoint{
+		Kind: CheckpointKind, ConfigHash: hash,
+		N: 500, FirstSeed: 7, NextSeed: 131,
+		Programs: 124, Runs: 744, Truncated: 2, Mismatches: 3, ShrinkSteps: 11,
+		Artifacts: []string{"fuzz-000.json"},
+	}
+	for _, m := range sampleMismatches() {
+		ck.Pending = append(ck.Pending, EncodeMismatch(m))
+	}
+
+	path := filepath.Join(t.TempDir(), "campaign.ckpt")
+	nbytes, err := WriteCheckpoint(path, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nbytes <= 0 {
+		t.Fatalf("WriteCheckpoint reported %d bytes", nbytes)
+	}
+	back, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, ck) {
+		t.Errorf("checkpoint round trip mutated the document:\n got %+v\nwant %+v", back, ck)
+	}
+	if err := back.Validate(hash); err != nil {
+		t.Errorf("Validate on a faithful checkpoint: %v", err)
+	}
+	pend, err := back.PendingMismatches()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pend, sampleMismatches()) {
+		t.Error("pending shrink queue did not survive the round trip")
+	}
+	if back.Done() {
+		t.Error("mid-campaign checkpoint reports Done")
+	}
+	fin := *back
+	fin.NextSeed = fin.FirstSeed + int64(fin.N)
+	fin.Pending = nil
+	if !fin.Done() {
+		t.Error("finished checkpoint does not report Done")
+	}
+}
+
+func TestCheckpointValidateRejects(t *testing.T) {
+	cfg := Config{Deltas: []int{0, 1}, MachSeeds: 1}
+	hash := cfg.CampaignHash(100, 0, 400)
+	good := Checkpoint{Kind: CheckpointKind, ConfigHash: hash, N: 100, FirstSeed: 0, NextSeed: 50}
+
+	wrongHash := good
+	other := Config{Deltas: []int{0, 5}, MachSeeds: 1}
+	if err := wrongHash.Validate(other.CampaignHash(100, 0, 400)); err == nil {
+		t.Error("Validate accepted a checkpoint from a different configuration")
+	} else if !strings.Contains(err.Error(), "different campaign configuration") {
+		t.Errorf("hash-mismatch error lacks the explanation: %v", err)
+	}
+
+	wrongKind := good
+	wrongKind.Kind = "flight-dump"
+	if err := wrongKind.Validate(hash); err == nil {
+		t.Error("Validate accepted a wrong-kind document")
+	}
+
+	badCursor := good
+	badCursor.NextSeed = 101
+	if err := badCursor.Validate(hash); err == nil {
+		t.Error("Validate accepted an out-of-range cursor")
+	}
+
+	badPending := good
+	badPending.Pending = []MismatchJSON{{Kind: KindSampledOutcome, Policy: "no-such-policy", Program: EncodeProgram(ckptProg())}}
+	if err := badPending.Validate(hash); err == nil {
+		t.Error("Validate accepted an undecodable pending mismatch")
+	}
+}
+
+// TestCampaignHashSensitivity: the hash moves with every
+// report-affecting parameter and ignores the report-invariant ones.
+func TestCampaignHashSensitivity(t *testing.T) {
+	base := Config{Deltas: []int{0, 1}, MachSeeds: 2, MaxStates: 50_000, CrossCheckStates: -1}
+	h := base.CampaignHash(100, 1, 400)
+	if h != base.CampaignHash(100, 1, 400) {
+		t.Fatal("CampaignHash is not deterministic")
+	}
+
+	// Workers is report-invariant — resuming with different parallelism
+	// is explicitly supported.
+	par := base
+	par.Workers = 16
+	if par.CampaignHash(100, 1, 400) != h {
+		t.Error("Workers changed the campaign hash; resume across worker counts would be refused")
+	}
+
+	// Zero-valued fields hash like their defaults, so "flag omitted" and
+	// "flag set to the default" resume interchangeably.
+	expl := base
+	expl.Policies = []tso.DrainPolicy{tso.DrainEager, tso.DrainRandom, tso.DrainAdversarial}
+	if expl.CampaignHash(100, 1, 400) != h {
+		t.Error("explicit default policies hash differently from the implied defaults")
+	}
+
+	mut := func(name string, c Config, n int, s int64, shrink int) {
+		if c.CampaignHash(n, s, shrink) == h {
+			t.Errorf("%s did not change the campaign hash", name)
+		}
+	}
+	d := base
+	d.Deltas = []int{0, 2}
+	mut("Deltas", d, 100, 1, 400)
+	ms := base
+	ms.MachSeeds = 3
+	mut("MachSeeds", ms, 100, 1, 400)
+	st := base
+	st.MaxStates = 60_000
+	mut("MaxStates", st, 100, 1, 400)
+	cc := base
+	cc.CrossCheckStates = 1000
+	mut("CrossCheckStates", cc, 100, 1, 400)
+	g := base
+	g.Gen.MaxThreads = 2
+	mut("Gen", g, 100, 1, 400)
+	pol := base
+	pol.Policies = []tso.DrainPolicy{tso.DrainEager}
+	mut("Policies", pol, 100, 1, 400)
+	mut("N", base, 101, 1, 400)
+	mut("FirstSeed", base, 100, 2, 400)
+	mut("ShrinkMax", base, 100, 1, 500)
+}

@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -139,9 +140,12 @@ func (r *Report) Add(r2 Report) {
 
 // explore runs the parallel engine, tolerating truncation: a truncated
 // exploration returns ok=false and the check that needed it is skipped.
-func (c Config) explore(p mc.Program, delta int) (mc.Result, bool, error) {
+// A cancelled exploration (ctx) propagates its *mc.InterruptedError —
+// the caller must treat the whole program check as incomplete, never
+// as a finding.
+func (c Config) explore(ctx context.Context, p mc.Program, delta int) (mc.Result, bool, error) {
 	c.count("fuzz.explorations", 1)
-	res, err := mc.ExploreParallel(p, delta, mc.Options{MaxStates: c.MaxStates})
+	res, err := mc.ExploreParallel(p, delta, mc.Options{MaxStates: c.MaxStates, Context: ctx})
 	if err != nil {
 		var te *mc.TruncatedError
 		if errors.As(err, &te) {
@@ -151,6 +155,11 @@ func (c Config) explore(p mc.Program, delta int) (mc.Result, bool, error) {
 		return mc.Result{}, false, err
 	}
 	return res, true, nil
+}
+
+// cancelled reports whether ctx (nil = uncancellable) is done.
+func cancelled(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
 }
 
 // diffOutcomes renders the symmetric difference of two outcome sets,
@@ -185,21 +194,32 @@ func diffOutcomes(a, b map[string]bool) string {
 // exhaustive outcome set at the covering Δ. seed tags mismatches for
 // replay; pass the generator seed (or 0 for hand-built programs).
 func CheckProgram(cfg Config, p mc.Program, seed int64) Report {
-	return checkProgram(cfg.orDefault(), NewSampler(), nil, p, seed)
+	rep, _ := checkProgram(nil, cfg.orDefault(), NewSampler(), nil, p, seed)
+	return rep
 }
 
 // checkProgram is CheckProgram with an explicit execution context: the
 // sampler is the worker-local machine the program's runs reuse, and
 // sinkMu (nil in serial drivers) serializes sampled runs around the
 // shared cfg.Sinks in a parallel campaign. cfg must already be
-// defaulted.
-func checkProgram(cfg Config, s *Sampler, sinkMu *sync.Mutex, p mc.Program, seed int64) Report {
-	rep := Report{Programs: 1}
+// defaulted. ctx (nil = uncancellable) cancels mid-check; complete is
+// false when the check was cut short, in which case the report is a
+// partial that MUST NOT be merged into a campaign — the program has to
+// be re-checked from scratch (it is deterministic per seed, so a re-run
+// reproduces the full report exactly).
+func checkProgram(ctx context.Context, cfg Config, s *Sampler, sinkMu *sync.Mutex, p mc.Program, seed int64) (rep Report, complete bool) {
+	rep = Report{Programs: 1}
 	cfg.count("fuzz.programs", 1)
 
 	for _, delta := range cfg.Deltas {
-		raw, ok, err := cfg.explore(p, delta)
+		if cancelled(ctx) {
+			return rep, false
+		}
+		raw, ok, err := cfg.explore(ctx, p, delta)
 		if err != nil {
+			if errors.Is(err, mc.ErrInterrupted) {
+				return rep, false
+			}
 			rep.Mismatches = append(rep.Mismatches, Mismatch{
 				Kind: KindEngineDivergence, Seed: seed, Delta: delta,
 				Detail: "parallel engine error: " + err.Error(), Program: p,
@@ -230,8 +250,11 @@ func checkProgram(cfg Config, s *Sampler, sinkMu *sync.Mutex, p mc.Program, seed
 		admitted := raw
 		if cover != delta {
 			var cok bool
-			admitted, cok, err = cfg.explore(p, cover)
+			admitted, cok, err = cfg.explore(ctx, p, cover)
 			if err != nil {
+				if errors.Is(err, mc.ErrInterrupted) {
+					return rep, false
+				}
 				rep.Mismatches = append(rep.Mismatches, Mismatch{
 					Kind: KindEngineDivergence, Seed: seed, Delta: delta, Cover: cover,
 					Detail: "cover exploration error: " + err.Error(), Program: p,
@@ -272,7 +295,7 @@ func checkProgram(cfg Config, s *Sampler, sinkMu *sync.Mutex, p mc.Program, seed
 		}
 	}
 	cfg.count("fuzz.mismatches", uint64(len(rep.Mismatches)))
-	return rep
+	return rep, true
 }
 
 // Run generates and checks n programs starting at startSeed, sharding
@@ -282,6 +305,25 @@ func checkProgram(cfg Config, s *Sampler, sinkMu *sync.Mutex, p mc.Program, seed
 // on (cfg, startSeed+i) — each worker runs its programs on a private
 // machine — and the per-program reports are merged in seed order.
 func Run(cfg Config, n int, startSeed int64) Report {
+	rep, _, _ := RunContext(nil, cfg, n, startSeed)
+	return rep
+}
+
+// RunContext is Run with cooperative cancellation, the primitive the
+// campaign checkpoints are built on. On cancellation it stops handing
+// out seeds, discards any program checks that were cut short or that
+// lie beyond the first unfinished seed, and returns the merged report
+// of the longest CONTIGUOUS prefix of completed seeds along with the
+// prefix length: the report covers exactly the programs with seeds in
+// [startSeed, startSeed+done), merged in seed order. Because each
+// program's report is deterministic per (cfg, seed), resuming with
+// RunContext(ctx, cfg, n-done, startSeed+done) and folding the two
+// reports with Add yields a Report byte-identical to an uninterrupted
+// Run(cfg, n, startSeed) — the property TestRunContextPrefixResume
+// pins. err is the context's error when the run was cut short, nil
+// when all n programs completed (even if ctx was cancelled after the
+// last one finished).
+func RunContext(ctx context.Context, cfg Config, n int, startSeed int64) (Report, int, error) {
 	cfg = cfg.orDefault()
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -294,10 +336,17 @@ func Run(cfg Config, n int, startSeed int64) Report {
 		s := NewSampler()
 		var rep Report
 		for i := 0; i < n; i++ {
+			if cancelled(ctx) {
+				return rep, i, ctx.Err()
+			}
 			seed := startSeed + int64(i)
-			rep.Add(checkProgram(cfg, s, nil, Gen(cfg.Gen, seed), seed))
+			r, ok := checkProgram(ctx, cfg, s, nil, Gen(cfg.Gen, seed), seed)
+			if !ok {
+				return rep, i, ctx.Err()
+			}
+			rep.Add(r)
 		}
-		return rep
+		return rep, n, nil
 	}
 
 	var sinkMu *sync.Mutex
@@ -305,6 +354,7 @@ func Run(cfg Config, n int, startSeed int64) Report {
 		sinkMu = new(sync.Mutex)
 	}
 	reports := make([]Report, n)
+	complete := make([]bool, n) // written pre-wg.Done, read post-wg.Wait
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -313,21 +363,32 @@ func Run(cfg Config, n int, startSeed int64) Report {
 			defer wg.Done()
 			s := NewSampler()
 			for {
+				if cancelled(ctx) {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
 				seed := startSeed + int64(i)
-				reports[i] = checkProgram(cfg, s, sinkMu, Gen(cfg.Gen, seed), seed)
+				reports[i], complete[i] = checkProgram(ctx, cfg, s, sinkMu, Gen(cfg.Gen, seed), seed)
 			}
 		}()
 	}
 	wg.Wait()
+
+	done := 0
+	for done < n && complete[done] {
+		done++
+	}
 	var rep Report
-	for i := range reports {
+	for i := 0; i < done; i++ {
 		rep.Add(reports[i])
 	}
-	return rep
+	if done < n {
+		return rep, done, ctx.Err()
+	}
+	return rep, n, nil
 }
 
 func sameOutcomes(a, b map[string]bool) bool {

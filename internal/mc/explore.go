@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -31,6 +32,12 @@ type Options struct {
 	// mc.terminal_collapses and gauges mc.states_per_sec,
 	// mc.frontier_depth, mc.workers.
 	Metrics *obs.Registry
+	// Context, if non-nil, makes the exploration cooperatively
+	// cancellable: on cancellation the workers drain their frontiers
+	// without expanding further and ExploreParallel returns the partial
+	// Result wrapped in a *InterruptedError. nil means uncancellable
+	// (context.Background semantics, with no watcher goroutine).
+	Context context.Context
 }
 
 // ErrTruncated is the sentinel matched by errors.Is when an
@@ -44,10 +51,17 @@ var ErrTruncated = errors.New("mc: state budget exhausted")
 // render what WAS explored — absence of an outcome proves nothing, but
 // presence is as real as in a completed run.
 type TruncatedError struct {
-	MaxStates int    // the budget
-	States    int    // states visited (== MaxStates)
-	Shape     string // the program's dimensions and Δ
-	Partial   Result // the partial result: a subset of the outcome set
+	MaxStates int // the budget
+	// States is the states visited. Invariant: States == MaxStates,
+	// even under parallel admission — the admission counter is a CAS
+	// loop that never overshoots the budget, it is monotone, and
+	// truncation is only declared by a worker that observed the
+	// counter at the budget, so when any worker trips it the counter
+	// is exactly MaxStates and stays there. Pinned by
+	// TestTruncatedStatesEqualsBudget at small budgets × many workers.
+	States  int
+	Shape   string // the program's dimensions and Δ
+	Partial Result // the partial result: a subset of the outcome set
 }
 
 func (e *TruncatedError) Error() string {
@@ -57,6 +71,39 @@ func (e *TruncatedError) Error() string {
 
 // Is makes errors.Is(err, ErrTruncated) hold.
 func (e *TruncatedError) Is(target error) bool { return target == ErrTruncated }
+
+// ErrInterrupted is the sentinel matched by errors.Is when an
+// exploration is cancelled through Options.Context.
+var ErrInterrupted = errors.New("mc: exploration interrupted")
+
+// InterruptedError reports an exploration cancelled through
+// Options.Context before completing; it mirrors *TruncatedError.
+// Partial (== the returned Result) is a genuine subset of the outcome
+// set: every outcome present was reached by a real execution and the
+// merge over the states that WERE visited is deterministic, but
+// absence proves nothing. Unlike truncation there is no States
+// invariant — cancellation lands wherever the frontier happened to be.
+// When an exploration both exhausts its budget and is cancelled, the
+// budget wins: *TruncatedError is returned, because truncation is the
+// stronger statement (the exploration would have stopped there anyway).
+type InterruptedError struct {
+	States  int    // states visited before the cancellation drained
+	Shape   string // the program's dimensions and Δ
+	Partial Result // the partial result: a subset of the outcome set
+	Cause   error  // the context's error (context.Canceled / DeadlineExceeded)
+}
+
+func (e *InterruptedError) Error() string {
+	return fmt.Sprintf("mc: exploration interrupted after %d states (program: %s): %v; outcomes are a partial subset",
+		e.States, e.Shape, e.Cause)
+}
+
+// Is makes errors.Is(err, ErrInterrupted) hold.
+func (e *InterruptedError) Is(target error) bool { return target == ErrInterrupted }
+
+// Unwrap exposes the context cause, so errors.Is(err, context.Canceled)
+// also holds.
+func (e *InterruptedError) Unwrap() error { return e.Cause }
 
 // engine is one parallel exploration: program, reduction gates, the
 // sharded visited set, and the shared counters workers coordinate on.
@@ -81,6 +128,7 @@ type engine struct {
 	porPrunes   atomic.Int64 // states expanded via a single invisible dequeue
 	collapses   atomic.Int64 // terminal collapses (drain tails skipped)
 	truncated   atomic.Bool
+	interrupted atomic.Bool // Options.Context cancelled; workers drain without expanding
 
 	start   time.Time
 	metrics *engineMetrics
@@ -130,7 +178,9 @@ type worker struct {
 // deterministic (identical to ExploreSequential's) regardless of
 // worker count or schedule; States/Transitions are deterministic for a
 // completed exploration. On budget exhaustion it returns the partial
-// Result and a *TruncatedError.
+// Result and a *TruncatedError; on Options.Context cancellation it
+// returns the partial Result and a *InterruptedError (budget
+// exhaustion wins when both apply).
 func ExploreParallel(p Program, delta int, opts Options) (Result, error) {
 	if len(p.Threads) == 0 {
 		return Result{Outcomes: map[string]bool{"": true}, States: 1}, nil
@@ -190,6 +240,29 @@ func ExploreParallel(p Program, delta int, opts Options) (Result, error) {
 	e.pending.Store(1)
 	w0.stack = append(w0.stack, key)
 
+	// The cancellation watcher: flip the interrupted flag when the
+	// context dies, so workers stop expanding at their next state and
+	// drain the remaining frontier as no-ops. watcherDone keeps the
+	// goroutine from outliving the exploration.
+	ctx := opts.Context
+	var watcherDone chan struct{}
+	if ctx != nil {
+		if ctx.Err() != nil {
+			// Already cancelled: set the flag synchronously so even an
+			// exploration the workers could finish instantly reports
+			// the interruption deterministically.
+			e.interrupted.Store(true)
+		}
+		watcherDone = make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				e.interrupted.Store(true)
+			case <-watcherDone:
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for _, w := range e.workers {
 		wg.Add(1)
@@ -199,6 +272,9 @@ func ExploreParallel(p Program, delta int, opts Options) (Result, error) {
 		}(w)
 	}
 	wg.Wait()
+	if watcherDone != nil {
+		close(watcherDone)
+	}
 
 	res := Result{
 		Outcomes:    e.mergeOutcomes(),
@@ -209,6 +285,9 @@ func ExploreParallel(p Program, delta int, opts Options) (Result, error) {
 	e.publishFinal(res)
 	if e.truncated.Load() {
 		return res, &TruncatedError{MaxStates: maxStates, States: res.States, Shape: p.shape(delta), Partial: res}
+	}
+	if ctx != nil && ctx.Err() != nil && e.interrupted.Load() {
+		return res, &InterruptedError{States: res.States, Shape: p.shape(delta), Partial: res, Cause: ctx.Err()}
 	}
 	return res, nil
 }
@@ -401,7 +480,7 @@ func (w *worker) recordOutcome(s *state) {
 // reductions of reduce.go layered on top.
 func (w *worker) expand(key string) {
 	e := w.e
-	if e.truncated.Load() {
+	if e.truncated.Load() || e.interrupted.Load() {
 		return
 	}
 	if w.sinceTick++; w.sinceTick >= 16384 {

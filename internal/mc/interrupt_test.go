@@ -1,0 +1,132 @@
+package mc
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// interruptProg is a program with a state space in the tens of
+// thousands — big enough that budgets and cancellations land mid-way.
+func interruptProg() Program {
+	return Program{
+		Threads: [][]Op{
+			{St(0, 1), Ld(1, 0), St(2, 1), Ld(0, 1)},
+			{St(1, 1), Ld(2, 0), St(0, 2), Ld(1, 1)},
+			{St(2, 2), Ld(0, 0), St(1, 2), Ld(2, 1)},
+		},
+		Vars: 3, Regs: 2,
+	}
+}
+
+// TestTruncatedStatesEqualsBudget pins the documented TruncatedError
+// invariant States == MaxStates under parallel CAS admission, exactly
+// where it would break if admission could overshoot or undershoot:
+// tiny budgets with many workers racing on the counter.
+func TestTruncatedStatesEqualsBudget(t *testing.T) {
+	p := interruptProg()
+	for _, budget := range []int{1, 2, 3, 5, 17, 64, 500} {
+		for _, workers := range []int{1, 4, 16} {
+			_, err := ExploreParallel(p, 1, Options{MaxStates: budget, Workers: workers})
+			var te *TruncatedError
+			if !errors.As(err, &te) {
+				t.Fatalf("budget=%d workers=%d: want *TruncatedError, got %v", budget, workers, err)
+			}
+			if te.States != te.MaxStates || te.States != budget {
+				t.Errorf("budget=%d workers=%d: States=%d MaxStates=%d, want both == budget",
+					budget, workers, te.States, te.MaxStates)
+			}
+			if te.Partial.States != budget {
+				t.Errorf("budget=%d workers=%d: Partial.States=%d, want %d",
+					budget, workers, te.Partial.States, budget)
+			}
+			if !errors.Is(err, ErrTruncated) {
+				t.Errorf("budget=%d workers=%d: errors.Is(err, ErrTruncated) = false", budget, workers)
+			}
+		}
+	}
+}
+
+// TestExploreParallelInterrupted cancels an exploration and asserts
+// the typed partial result: a *InterruptedError carrying a usable
+// Result whose outcomes are a subset of the complete run's.
+func TestExploreParallelInterrupted(t *testing.T) {
+	p := interruptProg()
+	full, err := ExploreParallel(p, 1, Options{})
+	if err != nil {
+		t.Fatalf("uncancelled exploration: %v", err)
+	}
+
+	// Pre-cancelled context: the exploration must return promptly with
+	// the typed error, not hang or panic.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ExploreParallel(p, 1, Options{Context: ctx, Workers: 4})
+	var ie *InterruptedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("pre-cancelled: want *InterruptedError, got %v", err)
+	}
+	if !errors.Is(err, ErrInterrupted) {
+		t.Error("errors.Is(err, ErrInterrupted) = false")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("errors.Is(err, context.Canceled) = false")
+	}
+	if ie.States != res.States || ie.Partial.States != res.States {
+		t.Errorf("States mismatch: err=%d partial=%d result=%d", ie.States, ie.Partial.States, res.States)
+	}
+	for o := range res.Outcomes {
+		if !full.Outcomes[o] {
+			t.Errorf("interrupted run produced outcome %q the complete run does not admit", o)
+		}
+	}
+
+	// Mid-flight cancellation: every observed outcome must still be
+	// real (a subset of the complete set), whatever the timing.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(200 * time.Microsecond)
+		cancel2()
+	}()
+	res2, err2 := ExploreParallel(p, 1, Options{Context: ctx2, Workers: 4})
+	if err2 != nil {
+		if !errors.As(err2, &ie) {
+			t.Fatalf("mid-flight: want *InterruptedError or nil, got %v", err2)
+		}
+	}
+	for o := range res2.Outcomes {
+		if !full.Outcomes[o] {
+			t.Errorf("mid-flight interrupted run produced outcome %q the complete run does not admit", o)
+		}
+	}
+
+	// A nil-context exploration of the same program stays byte-stable:
+	// the watcherless path is the default and must not regress.
+	again, err := ExploreParallel(p, 1, Options{})
+	if err != nil {
+		t.Fatalf("second uncancelled exploration: %v", err)
+	}
+	if len(again.Outcomes) != len(full.Outcomes) || again.States != full.States {
+		t.Errorf("uncancelled exploration not deterministic: %d/%d outcomes, %d/%d states",
+			len(again.Outcomes), len(full.Outcomes), again.States, full.States)
+	}
+
+	// Budget exhaustion wins over cancellation: with both in play the
+	// caller sees *TruncatedError and its States invariant.
+	ctx3, cancel3 := context.WithCancel(context.Background())
+	cancel3()
+	_, err3 := ExploreParallel(p, 1, Options{Context: ctx3, MaxStates: 1, Workers: 4})
+	switch {
+	case errors.Is(err3, ErrTruncated):
+		var te *TruncatedError
+		if errors.As(err3, &te) && te.States != te.MaxStates {
+			t.Errorf("truncated+interrupted: States=%d != MaxStates=%d", te.States, te.MaxStates)
+		}
+	case errors.Is(err3, ErrInterrupted):
+		// Also legal: the cancellation drained the frontier before any
+		// worker charged the budget.
+	default:
+		t.Fatalf("truncated+interrupted: want a typed partial error, got %v", err3)
+	}
+}

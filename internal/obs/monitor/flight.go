@@ -126,6 +126,14 @@ func (f *FlightRecorder) DumpOnViolation(dir, name string) (string, error) {
 	if f.set.Ok() {
 		return "", nil
 	}
+	return f.DumpToFile(dir, name)
+}
+
+// DumpToFile unconditionally writes the artifact to
+// dir/<name>.flight.json, creating dir as needed, and returns the
+// written path. Interruption handling uses this: a cancelled run dumps
+// its tail for post-mortem even when no monitor tripped.
+func (f *FlightRecorder) DumpToFile(dir, name string) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}

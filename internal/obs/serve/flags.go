@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -165,6 +166,17 @@ func (s *Session) Sinks() []tso.Sink {
 // It returns the number of violations (callers fold it into their
 // exit code).
 func (s *Session) Finish(w io.Writer, name string) int {
+	return s.FinishContext(context.Background(), w, name)
+}
+
+// FinishContext is Finish with interruption semantics. The linger
+// window is cancellable: a signal arriving while the endpoint lingers
+// cuts the window short instead of pinning the process in an
+// unkillable sleep, and the server still stops. When ctx is already
+// cancelled — the run was interrupted — the recorder additionally
+// dumps an unconditional <name>.interrupt.flight.json post-mortem
+// artifact, violations or not.
+func (s *Session) FinishContext(ctx context.Context, w io.Writer, name string) int {
 	var violations []monitor.Violation
 	if s.Monitors != nil {
 		violations = s.Monitors.Violations()
@@ -178,11 +190,22 @@ func (s *Session) Finish(w io.Writer, name string) int {
 		} else if path != "" {
 			fmt.Fprintf(w, "obs: flight-recorder artifact: %s\n", path)
 		}
+		if ctx.Err() != nil {
+			if path, err := s.Recorder.DumpToFile(s.flightDir, name+".interrupt"); err != nil {
+				fmt.Fprintf(w, "obs: interrupt flight dump: %v\n", err)
+			} else {
+				fmt.Fprintf(w, "obs: interrupt flight-recorder artifact: %s\n", path)
+			}
+		}
 	}
 	if s.srv != nil {
-		if s.linger > 0 {
+		if s.linger > 0 && ctx.Err() == nil {
 			fmt.Fprintf(w, "obs: endpoint http://%s lingering %v\n", s.Addr, s.linger)
-			time.Sleep(s.linger)
+			select {
+			case <-time.After(s.linger):
+			case <-ctx.Done():
+				fmt.Fprintf(w, "obs: linger interrupted\n")
+			}
 		}
 		s.srv.Stop() //nolint:errcheck
 	}

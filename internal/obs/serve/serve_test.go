@@ -2,10 +2,13 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -205,5 +208,84 @@ func TestInertSession(t *testing.T) {
 	var buf bytes.Buffer
 	if n := sess.Finish(&buf, "x"); n != 0 || buf.Len() != 0 {
 		t.Fatalf("inert Finish: n=%d out=%q", n, buf.String())
+	}
+}
+
+// TestFinishContextCancellableLinger: a signal arriving during the
+// linger window must cut it short and still stop the server — the
+// window used to be an uninterruptible time.Sleep.
+func TestFinishContextCancellableLinger(t *testing.T) {
+	sess, err := Options{Listen: "127.0.0.1:0", Linger: time.Hour}.Start(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	finished := make(chan int, 1)
+	var report bytes.Buffer
+	go func() { finished <- sess.FinishContext(ctx, &report, "linger") }()
+
+	select {
+	case <-finished:
+		t.Fatal("FinishContext returned before the linger was cancelled")
+	case <-time.After(50 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case <-finished:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled linger did not unblock FinishContext")
+	}
+	if !strings.Contains(report.String(), "linger interrupted") {
+		t.Errorf("no linger-interrupted note:\n%s", report.String())
+	}
+	client := http.Client{Timeout: time.Second}
+	if _, err := client.Get("http://" + sess.Addr + "/healthz"); err == nil {
+		t.Error("endpoint still serving after interrupted linger")
+	}
+}
+
+// TestFinishContextInterruptDump: an interrupted session with a flight
+// dir must leave a post-mortem artifact even when no monitor tripped,
+// and must skip the linger entirely.
+func TestFinishContextInterruptDump(t *testing.T) {
+	dir := t.TempDir()
+	sess, err := Options{Monitors: "residency=1000", FlightDir: dir, Ring: 64, Linger: time.Hour}.Start(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Recorder.BeginRun([]string{"w"}, 0)
+	sess.Sinks()[0].Emit(tso.Event{Kind: tso.EvStore, Thread: 0, Addr: 1, Val: 1, Tick: 1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var report bytes.Buffer
+	done := make(chan int, 1)
+	go func() { done <- sess.FinishContext(ctx, &report, "campaign") }()
+	var n int
+	select {
+	case n = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("FinishContext lingered despite a cancelled context")
+	}
+	if n != 0 {
+		t.Fatalf("FinishContext reported %d violations, want 0", n)
+	}
+	// No violation → no regular artifact; interruption → post-mortem one.
+	if _, err := os.Stat(filepath.Join(dir, "campaign.flight.json")); !os.IsNotExist(err) {
+		t.Errorf("violation artifact written without a violation: %v", err)
+	}
+	path := filepath.Join(dir, "campaign.interrupt.flight.json")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("no interrupt post-mortem artifact: %v", err)
+	}
+	defer f.Close()
+	dump, err := monitor.ReadFlightDump(f)
+	if err != nil {
+		t.Fatalf("interrupt artifact unreadable: %v", err)
+	}
+	if dump.RetainedEvents != 1 || len(dump.Violations) != 0 {
+		t.Errorf("interrupt artifact: retained=%d violations=%d, want 1/0",
+			dump.RetainedEvents, len(dump.Violations))
 	}
 }

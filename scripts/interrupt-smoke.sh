@@ -1,0 +1,116 @@
+#!/bin/sh
+# Interruption smoke test: SIGINT a live checkpointed fuzz campaign,
+# assert the graceful-drain contract (exit 130, resumable checkpoint,
+# byte-identical resumed summary), then SIGINT a lingering ops endpoint
+# and assert the linger window is cancellable instead of pinning the
+# process in an unkillable sleep (docs/ROBUSTNESS.md). CI runs this as
+# the interrupt-smoke job; locally: make interrupt-smoke.
+set -eu
+
+workdir=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$workdir/tbtso-fuzz" ./cmd/tbtso-fuzz
+go build -o "$workdir/tbtso-sim" ./cmd/tbtso-sim
+
+# One campaign shape throughout; small, but big enough that the
+# interrupted run is still going when its first checkpoint lands.
+common="-n 2000 -seed 11 -deltas 0,1 -machseeds 2 -maxstates 30000 -crosscheck -1 -json"
+
+# Baseline: the campaign uninterrupted.
+"$workdir/tbtso-fuzz" $common >"$workdir/baseline.json"
+
+# Interrupted: wait for the first periodic checkpoint, then SIGINT.
+"$workdir/tbtso-fuzz" $common -workers 4 -ckpt "$workdir/c.ckpt" -ckpt.every 50 \
+    >"$workdir/cut.json" 2>"$workdir/cut.log" &
+pid=$!
+i=0
+while [ ! -f "$workdir/c.ckpt" ]; do
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "interrupt-smoke: campaign finished before a checkpoint appeared" >&2
+        cat "$workdir/cut.log" >&2
+        exit 1
+    fi
+    if [ $i -ge 600 ]; then
+        echo "interrupt-smoke: no checkpoint within 30s" >&2
+        exit 1
+    fi
+    sleep 0.05
+    i=$((i + 1))
+done
+kill -INT "$pid"
+set +e
+wait "$pid"
+status=$?
+set -e
+pid=""
+if [ "$status" -ne 130 ]; then
+    echo "interrupt-smoke: interrupted campaign exited $status, want 130" >&2
+    cat "$workdir/cut.log" >&2
+    exit 1
+fi
+grep -q 'resume with -resume' "$workdir/cut.log" || {
+    echo "interrupt-smoke: no resume hint on stderr:" >&2
+    cat "$workdir/cut.log" >&2
+    exit 1
+}
+
+# Resume at a different worker count; the summary must match the
+# uninterrupted baseline once wall-clock is normalized away.
+"$workdir/tbtso-fuzz" $common -workers 2 -resume "$workdir/c.ckpt" >"$workdir/resumed.json"
+strip_elapsed() { sed 's/"elapsed_ms": [0-9]*/"elapsed_ms": 0/' "$1"; }
+if [ "$(strip_elapsed "$workdir/baseline.json")" != "$(strip_elapsed "$workdir/resumed.json")" ]; then
+    echo "interrupt-smoke: resumed summary differs from the uninterrupted baseline:" >&2
+    diff "$workdir/baseline.json" "$workdir/resumed.json" >&2 || true
+    exit 1
+fi
+
+# Cancellable linger: a SIGINT during -obs.linger must cut the window
+# short and exit 130, not sleep out the full duration.
+"$workdir/tbtso-sim" -test SB -delta 50 -seeds 10 \
+    -obs.listen 127.0.0.1:0 -obs.linger 300s \
+    >/dev/null 2>"$workdir/sim.log" &
+pid=$!
+i=0
+while ! grep -q 'lingering' "$workdir/sim.log" 2>/dev/null; do
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "interrupt-smoke: tbtso-sim exited before the linger window" >&2
+        cat "$workdir/sim.log" >&2
+        exit 1
+    fi
+    if [ $i -ge 300 ]; then
+        echo "interrupt-smoke: linger window never opened" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+start=$(date +%s)
+kill -INT "$pid"
+set +e
+wait "$pid"
+status=$?
+set -e
+pid=""
+elapsed=$(($(date +%s) - start))
+if [ "$status" -ne 130 ]; then
+    echo "interrupt-smoke: interrupted linger exited $status, want 130" >&2
+    cat "$workdir/sim.log" >&2
+    exit 1
+fi
+if [ "$elapsed" -gt 20 ]; then
+    echo "interrupt-smoke: linger took ${elapsed}s to die after SIGINT — the sleep is not cancellable" >&2
+    exit 1
+fi
+grep -q 'linger interrupted' "$workdir/sim.log" || {
+    echo "interrupt-smoke: no linger-interrupted note on stderr:" >&2
+    cat "$workdir/sim.log" >&2
+    exit 1
+}
+
+echo "interrupt-smoke: ok (campaign drained to a resumable checkpoint; resume byte-identical; linger cancellable)"
