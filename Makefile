@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint verify test race check bench bench-guard bench-compare bench-sim mc-bench sim-bench fuzz-smoke obs-smoke interrupt-smoke figures figures-quick demos clean
+.PHONY: all build vet lint verify test race check bench bench-guard bench-compare bench-sim mc-bench sim-bench fuzz-smoke obs-smoke obs-report interrupt-smoke figures figures-quick demos clean
 
 all: build lint test
 
@@ -59,10 +59,18 @@ bench-sim:
 	$(GO) run ./cmd/tbtso-bench -compare BENCH_sim.json BENCH_sim.json
 
 # Observability smoke: a short monitored litmus sweep with the live ops
-# endpoint up; the Prometheus scrape must show zero Δ-residency
-# violations (docs/OBSERVABILITY.md). CI runs the same sequence.
+# endpoint up (the Prometheus scrape must show zero Δ-residency
+# violations), then a monitored fuzz campaign with /coverage scraped
+# mid-flight and its artifacts aggregated by tbtso-obs
+# (docs/OBSERVABILITY.md). CI runs the same sequence.
 obs-smoke:
 	./scripts/obs-smoke.sh
+
+# Aggregation smoke: two short campaigns merged by tbtso-obs into one
+# report — totals must cover both runs, and the report must -compare
+# clean against its own bytes (docs/OBSERVABILITY.md).
+obs-report:
+	./scripts/obs-report.sh
 
 # Interruption smoke: SIGINT a live checkpointed fuzz campaign and a
 # lingering ops endpoint; graceful drain, resumable checkpoint,

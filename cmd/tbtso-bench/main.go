@@ -264,7 +264,11 @@ func runCompare(baselinePath, candidatePath string, opts bench.CompareOptions) i
 		fmt.Fprintf(os.Stderr, "compare: %v\n", err)
 		return 2
 	}
-	regs := bench.Compare(baseline, candidate, opts)
+	regs, err := bench.Compare(baseline, candidate, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+		return 2
+	}
 	if len(regs) == 0 {
 		fmt.Printf("compare: %s vs %s: no regressions\n", baselinePath, candidatePath)
 		return 0

@@ -35,11 +35,14 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"tbtso/internal/cli"
 	"tbtso/internal/fuzz"
 	"tbtso/internal/obs"
+	"tbtso/internal/obs/coverage"
+	"tbtso/internal/obs/monitor"
 	"tbtso/internal/obs/serve"
 	"tbtso/internal/tso"
 )
@@ -119,11 +122,45 @@ func run(args []string) (code int) {
 	case *plant:
 		return runPlanted(ctx, cfg, reg, *outDir, *shrinkMax, *jsonOut, *metrics)
 	default:
-		camp := campaign{
+		camp := &campaign{
 			cfg: cfg, reg: reg, n: *n, startSeed: *seed,
 			budget: *timeBudget, shrinkMax: *shrinkMax, outDir: *outDir,
 			ckptPath: *ckptPath, ckptEvery: *ckptEvery, resumePath: *resumePath,
 			jsonOut: *jsonOut, metrics: *metrics, verbose: *verbose,
+			flightDir: obsOpts.FlightDir,
+		}
+		if obsOpts.Monitors != "" || obsOpts.FlightDir != "" {
+			// Campaigns record flight data through per-worker shards
+			// instead of serializing every machine run through the
+			// session's shared recorder: each seed gets a fresh monitor
+			// set (exact violation attribution) and no lock is taken on
+			// the event hot path. The session recorder stays attached
+			// only for the unconditional interrupt post-mortem dump.
+			spec := obsOpts.Monitors
+			var factory func() *monitor.Set
+			if spec != "" {
+				factory = func() *monitor.Set {
+					set, err := serve.ParseMonitors(spec, reg)
+					if err != nil {
+						// Options.Start validated the spec already.
+						panic("tbtso-fuzz: monitor spec: " + err.Error())
+					}
+					return set
+				}
+			}
+			camp.flight = monitor.NewShardedFlight(factory, monitor.DefaultFlightSeeds)
+			camp.cfg.Flight = camp.flight
+			camp.cfg.Sinks = nil
+		}
+		if srv := sess.Server(); srv != nil {
+			srv.SetCoverage(camp.liveCoverage)
+			if camp.flight != nil {
+				srv.SetFlightRecorder(camp.flight)
+				srv.AddViolations(camp.flight.Violations)
+			}
+		}
+		if sess.Addr != "" {
+			fmt.Fprintf(os.Stderr, "tbtso-fuzz: ops endpoint http://%s\n", sess.Addr)
 		}
 		return camp.run(ctx)
 	}
@@ -203,9 +240,30 @@ type campaign struct {
 	verbose    bool
 
 	sum     summary
-	done    int            // seeds folded: [startSeed, startSeed+done) are complete
+	done    int             // seeds folded: [startSeed, startSeed+done) are complete
 	pending []fuzz.Mismatch // mismatches from folded seeds, not yet shrunk
+
+	// flight is the sharded campaign flight recorder (nil unless
+	// -obs.monitor/-obs.flightdir); flightDir receives its merged dump.
+	flight    *monitor.ShardedFlight
+	flightDir string
+	// cov is the merged campaign coverage for the folded prefix; liveCov
+	// is its latest batch-boundary clone, served on /coverage.
+	cov     coverage.Snapshot
+	liveCov atomic.Pointer[coverage.Snapshot]
+	// restoredFlightEv/Viol carry a resumed checkpoint's flight totals
+	// through to the next checkpoint when this invocation runs without a
+	// recorder of its own, so the totals are conserved across segments.
+	restoredFlightEv, restoredFlightViol uint64
 }
+
+// liveCoverage serves /coverage: the latest batch-boundary snapshot
+// (nil before any coverage exists, which the endpoint reports as 404).
+func (c *campaign) liveCoverage() *coverage.Snapshot { return c.liveCov.Load() }
+
+// publishCoverage clones the merged coverage for the ops endpoint.
+// Called only between batches — never on the checking hot path.
+func (c *campaign) publishCoverage() { c.liveCov.Store(c.cov.Clone()) }
 
 // checkpoint persists the campaign's resumable state; a no-op without
 // a checkpoint path.
@@ -220,16 +278,20 @@ func (c *campaign) checkpoint(hash string) {
 		Mismatches: c.sum.Mismatches, ShrinkSteps: c.sum.ShrinkSteps,
 		Artifacts: c.sum.Artifacts,
 	}
+	if !c.cov.Empty() {
+		ck.Coverage = &c.cov
+	}
+	if c.flight != nil {
+		ck.FlightEvents, ck.FlightViolations = c.flight.Totals()
+	} else {
+		ck.FlightEvents, ck.FlightViolations = c.restoredFlightEv, c.restoredFlightViol
+	}
 	for _, m := range c.pending {
 		ck.Pending = append(ck.Pending, fuzz.EncodeMismatch(m))
 	}
-	nb, err := fuzz.WriteCheckpoint(c.ckptPath, ck)
-	if err != nil {
+	if _, err := fuzz.WriteCheckpointMetered(c.ckptPath, ck, c.reg); err != nil {
 		fmt.Fprintln(os.Stderr, "tbtso-fuzz: checkpoint:", err)
-		return
 	}
-	c.reg.Counter("fuzz.campaign.checkpoints_written").Add(1)
-	c.reg.Counter("fuzz.campaign.checkpoint_bytes").Add(uint64(nb))
 }
 
 // shrinkOne minimizes a mismatch and writes its artifacts, folding the
@@ -271,6 +333,9 @@ func (c *campaign) run(ctx context.Context) int {
 	start := time.Now()
 	hash := c.cfg.CampaignHash(c.n, c.startSeed, c.shrinkMax)
 	c.sum = summary{FirstSeed: c.startSeed, LastSeed: c.startSeed - 1}
+	if c.flight != nil {
+		c.flight.Begin(c.startSeed)
+	}
 
 	if c.resumePath != "" {
 		ck, err := fuzz.ReadCheckpoint(c.resumePath)
@@ -291,6 +356,16 @@ func (c *campaign) run(ctx context.Context) int {
 		c.sum.Mismatches, c.sum.ShrinkSteps = ck.Mismatches, ck.ShrinkSteps
 		c.sum.Artifacts = ck.Artifacts
 		c.sum.LastSeed = ck.NextSeed - 1
+		if ck.Coverage != nil {
+			c.cov.Merge(ck.Coverage)
+			c.publishCoverage()
+		}
+		if c.flight != nil {
+			c.flight.Restore(c.startSeed, ck.FlightEvents, ck.FlightViolations)
+			c.flight.Compact(ck.NextSeed) // advance the cutoff past the restored prefix
+		} else {
+			c.restoredFlightEv, c.restoredFlightViol = ck.FlightEvents, ck.FlightViolations
+		}
 		c.reg.Counter("fuzz.resume.skipped_runs").Add(uint64(ck.Runs))
 		if c.ckptPath == "" {
 			c.ckptPath = c.resumePath
@@ -336,6 +411,13 @@ func (c *campaign) run(ctx context.Context) int {
 		c.sum.Runs += rep.Runs
 		c.sum.Truncated += rep.Truncated
 		c.sum.Mismatches += len(rep.Mismatches)
+		c.cov.Merge(&rep.Coverage)
+		if c.flight != nil {
+			// No worker is emitting between batches, so folding the
+			// shards' completed-prefix groups is safe here.
+			c.flight.Compact(c.startSeed + int64(c.done))
+		}
+		c.publishCoverage()
 		if sec := time.Since(start).Seconds(); sec > 0 {
 			c.reg.Gauge("fuzz.campaign.programs_per_sec").Set(int64(float64(c.sum.Programs) / sec))
 			c.reg.Gauge("fuzz.campaign.runs_per_sec").Set(int64(float64(c.sum.Runs) / sec))
@@ -371,7 +453,21 @@ func (c *campaign) run(ctx context.Context) int {
 	if c.metrics {
 		c.reg.WriteText(os.Stderr)
 	}
-	if c.sum.Mismatches > 0 {
+	var violations uint64
+	if c.flight != nil {
+		for _, v := range c.flight.Violations() {
+			fmt.Fprintf(os.Stderr, "obs: VIOLATION %s\n", v)
+		}
+		_, violations = c.flight.Totals()
+		if c.flightDir != "" {
+			if path, err := c.flight.DumpToFile(c.flightDir, "tbtso-fuzz.campaign"); err != nil {
+				fmt.Fprintln(os.Stderr, "tbtso-fuzz: campaign flight dump:", err)
+			} else {
+				fmt.Fprintln(os.Stderr, "obs: campaign flight artifact:", path)
+			}
+		}
+	}
+	if c.sum.Mismatches > 0 || violations > 0 {
 		return 1
 	}
 	return 0

@@ -68,6 +68,7 @@ func (o Options) interrupted() bool {
 // complete baseline.
 func (o Options) markInterrupted(t *report.Table) *report.Table {
 	if o.interrupted() {
+		t.Interrupted = true
 		t.AddNote("INTERRUPTED — figure cancelled mid-flight; rows below the last completed cell are missing")
 	}
 	return t

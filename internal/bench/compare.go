@@ -88,13 +88,44 @@ var metricColumns = map[string]bool{
 	"runs/s":   true, // sim figure: whole program executions per second
 }
 
+// Interrupted returns the titles of figures the document itself marks
+// as cut short — via the machine-readable flag, or (for documents
+// written before the flag existed) the INTERRUPTED footnote.
+func (d *FigureDoc) Interrupted() []string {
+	var out []string
+	for _, t := range d.Figures {
+		if t.Interrupted {
+			out = append(out, t.Title)
+			continue
+		}
+		for _, n := range t.Notes() {
+			if strings.Contains(n, "INTERRUPTED") {
+				out = append(out, t.Title)
+				break
+			}
+		}
+	}
+	return out
+}
+
 // Compare diffs a candidate figure document against a baseline:
 // figures are matched by title, rows by their identity columns, and
 // each matched row's time/states cells are checked against the
 // thresholds. Missing figures, missing rows, and changed outcome
 // counts are always regressions; extra rows and figures in the
 // candidate are not. A document compared against itself yields nil.
-func Compare(baseline, candidate *FigureDoc, opts CompareOptions) []Regression {
+//
+// Either document carrying an interrupted figure is an error, not a
+// regression list: a partial document's missing rows would read as
+// regressions (candidate) or silently shrink the comparison surface
+// (baseline), so the comparison is refused outright.
+func Compare(baseline, candidate *FigureDoc, opts CompareOptions) ([]Regression, error) {
+	if figs := baseline.Interrupted(); len(figs) > 0 {
+		return nil, fmt.Errorf("bench: baseline document is partial (interrupted figures: %s); refusing to compare against it", strings.Join(figs, ", "))
+	}
+	if figs := candidate.Interrupted(); len(figs) > 0 {
+		return nil, fmt.Errorf("bench: candidate document is partial (interrupted figures: %s); rerun it to completion before comparing", strings.Join(figs, ", "))
+	}
 	opts = opts.orDefault()
 	var out []Regression
 
@@ -110,7 +141,7 @@ func Compare(baseline, candidate *FigureDoc, opts CompareOptions) []Regression {
 		}
 		out = append(out, compareTable(oldT, newT, opts)...)
 	}
-	return out
+	return out, nil
 }
 
 func compareTable(oldT, newT *report.Table, opts CompareOptions) []Regression {

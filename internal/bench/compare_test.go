@@ -45,7 +45,11 @@ func reparse(t *testing.T, doc *FigureDoc) *FigureDoc {
 
 func TestCompareSelfIsClean(t *testing.T) {
 	doc := reparse(t, compareFixture())
-	if regs := Compare(doc, doc, CompareOptions{}); len(regs) != 0 {
+	regs, err := Compare(doc, doc, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
 		t.Fatalf("self-compare flagged: %v", regs)
 	}
 }
@@ -60,7 +64,11 @@ func TestCompareCommittedBaselineAgainstItself(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if regs := Compare(doc, doc, CompareOptions{}); len(regs) != 0 {
+	regs, err := Compare(doc, doc, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
 		t.Fatalf("BENCH_mc.json vs itself flagged: %v", regs)
 	}
 }
@@ -89,7 +97,10 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			regs := Compare(base, tc.cand, CompareOptions{})
+			regs, err := Compare(base, tc.cand, CompareOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
 			if len(regs) != 1 {
 				t.Fatalf("got %d regressions: %v", len(regs), regs)
 			}
@@ -104,21 +115,52 @@ func TestCompareFlagsRegressions(t *testing.T) {
 		setCell(tb, 0, 5, "400µs") // 1.48x < 2x
 		setCell(tb, 1, 3, "40")    // 1.25x < 1.5x
 	})
-	if regs := Compare(base, okDrift, CompareOptions{}); len(regs) != 0 {
-		t.Fatalf("within-threshold drift flagged: %v", regs)
+	if regs, err := Compare(base, okDrift, CompareOptions{}); err != nil || len(regs) != 0 {
+		t.Fatalf("within-threshold drift flagged: %v (err %v)", regs, err)
 	}
 
 	// Missing row and missing figure are structural regressions.
 	missingRow := &FigureDoc{Figures: []*report.Table{
 		report.NewTable(base.Figures[0].Title, base.Figures[0].Headers...),
 	}}
-	if regs := Compare(base, reparse(t, missingRow), CompareOptions{}); len(regs) != 3 {
-		t.Fatalf("missing rows: got %v", regs)
+	if regs, err := Compare(base, reparse(t, missingRow), CompareOptions{}); err != nil || len(regs) != 3 {
+		t.Fatalf("missing rows: got %v (err %v)", regs, err)
 	}
 	empty := &FigureDoc{Figures: []*report.Table{report.NewTable("other figure", "a")}}
-	regs := Compare(base, reparse(t, empty), CompareOptions{})
+	regs, err := Compare(base, reparse(t, empty), CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(regs) != 1 || !strings.Contains(regs[0].Detail, "figure missing") {
 		t.Fatalf("missing figure: got %v", regs)
+	}
+}
+
+// TestCompareRefusesInterrupted: a document stamped interrupted — by
+// the machine-readable flag or the legacy footnote — cannot be compared
+// in either position; its missing rows would masquerade as regressions.
+func TestCompareRefusesInterrupted(t *testing.T) {
+	base := reparse(t, compareFixture())
+
+	cut := compareFixture()
+	cut.Figures[0].Interrupted = true
+	cut.Figures[0].Rows()[2] = nil // simulate missing tail; irrelevant to the refusal
+	cand := reparse(t, cut)
+	if !cand.Figures[0].Interrupted {
+		t.Fatal("interrupted flag lost in the JSON round trip")
+	}
+	if _, err := Compare(base, cand, CompareOptions{}); err == nil || !strings.Contains(err.Error(), "partial") {
+		t.Fatalf("interrupted candidate accepted (err %v)", err)
+	}
+	if _, err := Compare(cand, base, CompareOptions{}); err == nil || !strings.Contains(err.Error(), "partial") {
+		t.Fatalf("interrupted baseline accepted (err %v)", err)
+	}
+
+	// Legacy documents carry only the footnote, no flag.
+	legacy := compareFixture()
+	legacy.Figures[0].AddNote("INTERRUPTED — figure cancelled mid-flight")
+	if _, err := Compare(base, reparse(t, legacy), CompareOptions{}); err == nil {
+		t.Fatal("legacy INTERRUPTED-note candidate accepted")
 	}
 }
 
@@ -127,7 +169,7 @@ func TestCompareTruncatedCellsNotFlagged(t *testing.T) {
 	cand := reparse(t, compareFixture())
 	cand.Figures[0].Rows()[0][3] = "(truncated)"
 	cand.Figures[0].Rows()[0][5] = "-"
-	if regs := Compare(base, reparse(t, cand), CompareOptions{}); len(regs) != 0 {
-		t.Fatalf("unparseable cells flagged: %v", regs)
+	if regs, err := Compare(base, reparse(t, cand), CompareOptions{}); err != nil || len(regs) != 0 {
+		t.Fatalf("unparseable cells flagged: %v (err %v)", regs, err)
 	}
 }

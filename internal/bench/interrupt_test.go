@@ -36,6 +36,9 @@ func TestFiguresInterruptible(t *testing.T) {
 	if !stamped {
 		t.Error("interrupted figure4 table lacks the INTERRUPTED note")
 	}
+	if !tab.Interrupted {
+		t.Error("interrupted figure4 table lacks the machine-readable Interrupted flag")
+	}
 
 	// A live context must not change behaviour: same rows as nil.
 	live := context.Background()
@@ -48,5 +51,8 @@ func TestFiguresInterruptible(t *testing.T) {
 		if strings.Contains(note, "INTERRUPTED") {
 			t.Error("uninterrupted table stamped INTERRUPTED")
 		}
+	}
+	if got.Interrupted {
+		t.Error("uninterrupted table carries the Interrupted flag")
 	}
 }

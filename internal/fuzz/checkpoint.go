@@ -5,6 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"time"
+
+	"tbtso/internal/obs"
+	"tbtso/internal/obs/coverage"
 )
 
 // CheckpointKind is the artifact's "kind" field, following the
@@ -86,6 +90,21 @@ type Checkpoint struct {
 	Mismatches  int      `json:"mismatches"`
 	ShrinkSteps int      `json:"shrink_steps"`
 	Artifacts   []string `json:"artifacts,omitempty"`
+
+	// Coverage is the merged campaign coverage for [FirstSeed,
+	// NextSeed). Because the snapshot is integer-only and merges in
+	// seed order, a resumed campaign continues the counts
+	// byte-identically to an uninterrupted run.
+	Coverage *coverage.Snapshot `json:"coverage,omitempty"`
+
+	// FlightEvents/FlightViolations are the sharded flight recorder's
+	// running prefix totals (monitor.ShardedFlight.Totals), restored on
+	// resume so the final campaign flight dump reports whole-campaign
+	// totals. The retained event groups themselves are NOT persisted —
+	// a resumed dump is byte-identical once the resumed segment spans
+	// the retention window.
+	FlightEvents     uint64 `json:"flight_events,omitempty"`
+	FlightViolations uint64 `json:"flight_violations,omitempty"`
 
 	// Pending is the shrink queue: mismatches from folded seeds whose
 	// shrinking had not finished when the checkpoint was written, in
@@ -185,6 +204,27 @@ func WriteCheckpoint(path string, ck *Checkpoint) (int, error) {
 		return 0, err
 	}
 	return len(blob), nil
+}
+
+// CheckpointWriteBuckets are the fuzz.campaign.checkpoint_write_ns
+// histogram's bounds: ~1µs to ~4s, exponential.
+func CheckpointWriteBuckets() []int64 { return obs.ExpBuckets(1024, 4, 12) }
+
+// WriteCheckpointMetered is WriteCheckpoint plus write-amplification
+// instrumentation into reg (nil skips it): counters
+// fuzz.campaign.checkpoints_written and fuzz.campaign.checkpoint_bytes,
+// and the fuzz.campaign.checkpoint_write_ns latency histogram — the
+// data behind the ROADMAP "compact checkpoint encoding" decision.
+func WriteCheckpointMetered(path string, ck *Checkpoint, reg *obs.Registry) (int, error) {
+	start := time.Now()
+	nb, err := WriteCheckpoint(path, ck)
+	if err != nil || reg == nil {
+		return nb, err
+	}
+	reg.Counter("fuzz.campaign.checkpoints_written").Add(1)
+	reg.Counter("fuzz.campaign.checkpoint_bytes").Add(uint64(nb))
+	reg.Histogram("fuzz.campaign.checkpoint_write_ns", CheckpointWriteBuckets()).Observe(time.Since(start).Nanoseconds())
+	return nb, err
 }
 
 // ReadCheckpoint loads a checkpoint written by WriteCheckpoint. It

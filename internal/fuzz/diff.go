@@ -11,6 +11,8 @@ import (
 
 	"tbtso/internal/mc"
 	"tbtso/internal/obs"
+	"tbtso/internal/obs/coverage"
+	"tbtso/internal/obs/monitor"
 	"tbtso/internal/tso"
 )
 
@@ -45,8 +47,15 @@ type Config struct {
 	// under continuous Δ-residency verification. Sinks are not safe for
 	// concurrent use, so a parallel Run serializes the sampled machine
 	// runs of all workers around them (the checker explorations still
-	// parallelize; prefer no sinks for throughput campaigns).
+	// parallelize; prefer Flight, which shards instead of serializing,
+	// for monitored throughput campaigns).
 	Sinks []tso.Sink
+	// Flight, if non-nil, is the sharded campaign flight recorder:
+	// worker w records every sampled run into Flight.Shard(w) — its own
+	// lock-free shard, bracketed per program so interrupted checks
+	// leave no trace — and the campaign driver compacts/dumps at report
+	// boundaries. Unlike Sinks, Flight adds no serialization.
+	Flight *monitor.ShardedFlight
 	// Workers is the parallelism of Run: the (program, seed) space is
 	// sharded across this many workers, each with its own machine.
 	// 0 means GOMAXPROCS; 1 is fully serial. The merged Report is
@@ -128,6 +137,12 @@ type Report struct {
 	Runs       int // machine executions sampled
 	Truncated  int // explorations that hit MaxStates and were skipped
 	Mismatches []Mismatch
+	// Coverage is the campaign coverage accumulated over the report's
+	// programs (op mix, shapes, swept cells, drain causes, mc
+	// reduction hits). Like the totals above it merges in seed order,
+	// and because every field is an integer accumulator the merged
+	// snapshot is identical for every worker count.
+	Coverage coverage.Snapshot
 }
 
 // Add folds r2 into r.
@@ -136,6 +151,7 @@ func (r *Report) Add(r2 Report) {
 	r.Runs += r2.Runs
 	r.Truncated += r2.Truncated
 	r.Mismatches = append(r.Mismatches, r2.Mismatches...)
+	r.Coverage.Merge(&r2.Coverage)
 }
 
 // explore runs the parallel engine, tolerating truncation: a truncated
@@ -194,22 +210,69 @@ func diffOutcomes(a, b map[string]bool) string {
 // exhaustive outcome set at the covering Δ. seed tags mismatches for
 // replay; pass the generator seed (or 0 for hand-built programs).
 func CheckProgram(cfg Config, p mc.Program, seed int64) Report {
-	rep, _ := checkProgram(nil, cfg.orDefault(), NewSampler(), nil, p, seed)
+	rep, _ := checkProgram(nil, cfg.orDefault(), NewSampler(), nil, nil, p, seed)
 	return rep
 }
 
+// opKindName maps checker op kinds to the coverage op-mix vocabulary.
+func opKindName(k mc.OpKind) string {
+	switch k {
+	case mc.OpStore:
+		return "store"
+	case mc.OpLoad:
+		return "load"
+	case mc.OpFence:
+		return "fence"
+	case mc.OpRMW:
+		return "rmw"
+	case mc.OpWait:
+		return "wait"
+	default:
+		return "unknown"
+	}
+}
+
+// observeProgram records p's shape and op mix into the report's
+// coverage and returns (threads, totalOps) for the later shape-keyed
+// observations.
+func observeProgram(rep *Report, p mc.Program) (threads, totalOps int) {
+	ops := make(map[string]uint64, 5)
+	for _, th := range p.Threads {
+		totalOps += len(th)
+		for _, op := range th {
+			ops[opKindName(op.Kind)]++
+		}
+	}
+	threads = len(p.Threads)
+	rep.Coverage.ObserveProgram(threads, totalOps, ops)
+	return threads, totalOps
+}
+
 // checkProgram is CheckProgram with an explicit execution context: the
-// sampler is the worker-local machine the program's runs reuse, and
-// sinkMu (nil in serial drivers) serializes sampled runs around the
-// shared cfg.Sinks in a parallel campaign. cfg must already be
+// sampler is the worker-local machine the program's runs reuse, sinkMu
+// (nil in serial drivers) serializes sampled runs around the shared
+// cfg.Sinks in a parallel campaign, and shard (nil when cfg.Flight is
+// off) is the worker's private flight shard — every sampled run streams
+// into it lock-free, bracketed as one seed group. cfg must already be
 // defaulted. ctx (nil = uncancellable) cancels mid-check; complete is
 // false when the check was cut short, in which case the report is a
 // partial that MUST NOT be merged into a campaign — the program has to
 // be re-checked from scratch (it is deterministic per seed, so a re-run
-// reproduces the full report exactly).
-func checkProgram(ctx context.Context, cfg Config, s *Sampler, sinkMu *sync.Mutex, p mc.Program, seed int64) (rep Report, complete bool) {
+// reproduces the full report exactly), and the shard group is discarded
+// with it.
+func checkProgram(ctx context.Context, cfg Config, s *Sampler, sinkMu *sync.Mutex, shard *monitor.FlightShard, p mc.Program, seed int64) (rep Report, complete bool) {
 	rep = Report{Programs: 1}
 	cfg.count("fuzz.programs", 1)
+	threads, totalOps := observeProgram(&rep, p)
+
+	sinks := cfg.Sinks
+	if shard != nil {
+		sinks = make([]tso.Sink, 0, len(cfg.Sinks)+1)
+		sinks = append(sinks, cfg.Sinks...)
+		sinks = append(sinks, shard)
+		shard.BeginGroup(seed)
+		defer func() { shard.EndGroup(complete) }()
+	}
 
 	for _, delta := range cfg.Deltas {
 		if cancelled(ctx) {
@@ -228,8 +291,11 @@ func checkProgram(ctx context.Context, cfg Config, s *Sampler, sinkMu *sync.Mute
 		}
 		if !ok {
 			rep.Truncated++
+			rep.Coverage.ObserveTruncated()
 			continue
 		}
+		rep.Coverage.ObserveExploration(raw.States, raw.Transitions, raw.DedupHits, raw.PorPrunes, raw.TerminalCollapses)
+		rep.Coverage.ObserveOutcomeSet(threads, totalOps, len(raw.Outcomes))
 
 		// Engine cross-check at the RAW sweep Δ, so small Δs are pinned
 		// engine-to-engine even though containment runs at the cover.
@@ -263,20 +329,32 @@ func checkProgram(ctx context.Context, cfg Config, s *Sampler, sinkMu *sync.Mute
 			}
 			if !cok {
 				rep.Truncated++
+				rep.Coverage.ObserveTruncated()
 				continue
 			}
+			rep.Coverage.ObserveExploration(admitted.States, admitted.Transitions, admitted.DedupHits, admitted.PorPrunes, admitted.TerminalCollapses)
 		}
 		for pi, pol := range cfg.Policies {
 			for i := 0; i < cfg.MachSeeds; i++ {
 				machSeed := seed*1000003 + int64(pi)*101 + int64(i)
 				rep.Runs++
 				cfg.count("fuzz.runs", 1)
+				rep.Coverage.ObserveRun(delta, pol.String(), i)
 				if sinkMu != nil {
 					sinkMu.Lock()
 				}
-				outcome, _, err := s.Sample(p, MachineRun{Delta: machDelta, Policy: pol, Seed: machSeed}, cfg.Sinks...)
+				outcome, mres, err := s.Sample(p, MachineRun{Delta: machDelta, Policy: pol, Seed: machSeed}, sinks...)
 				if sinkMu != nil {
 					sinkMu.Unlock()
+				}
+				if shard != nil {
+					shard.TagRun(coverage.CellKey(delta, pol.String(), i))
+				}
+				if err == nil {
+					for c := 0; c < int(tso.NumDrainCauses); c++ {
+						cause := tso.DrainCause(c)
+						rep.Coverage.ObserveDrain(cause.String(), mres.Stats.Drains.ByCause(cause))
+					}
 				}
 				if err != nil {
 					rep.Mismatches = append(rep.Mismatches, Mismatch{
@@ -334,13 +412,17 @@ func RunContext(ctx context.Context, cfg Config, n int, startSeed int64) (Report
 	}
 	if workers <= 1 {
 		s := NewSampler()
+		var shard *monitor.FlightShard
+		if cfg.Flight != nil {
+			shard = cfg.Flight.Shard(0)
+		}
 		var rep Report
 		for i := 0; i < n; i++ {
 			if cancelled(ctx) {
 				return rep, i, ctx.Err()
 			}
 			seed := startSeed + int64(i)
-			r, ok := checkProgram(ctx, cfg, s, nil, Gen(cfg.Gen, seed), seed)
+			r, ok := checkProgram(ctx, cfg, s, nil, shard, Gen(cfg.Gen, seed), seed)
 			if !ok {
 				return rep, i, ctx.Err()
 			}
@@ -359,9 +441,13 @@ func RunContext(ctx context.Context, cfg Config, n int, startSeed int64) (Report
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			s := NewSampler()
+			var shard *monitor.FlightShard
+			if cfg.Flight != nil {
+				shard = cfg.Flight.Shard(w)
+			}
 			for {
 				if cancelled(ctx) {
 					return
@@ -371,9 +457,9 @@ func RunContext(ctx context.Context, cfg Config, n int, startSeed int64) (Report
 					return
 				}
 				seed := startSeed + int64(i)
-				reports[i], complete[i] = checkProgram(ctx, cfg, s, sinkMu, Gen(cfg.Gen, seed), seed)
+				reports[i], complete[i] = checkProgram(ctx, cfg, s, sinkMu, shard, Gen(cfg.Gen, seed), seed)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 

@@ -277,10 +277,12 @@ func ExploreParallel(p Program, delta int, opts Options) (Result, error) {
 	}
 
 	res := Result{
-		Outcomes:    e.mergeOutcomes(),
-		States:      int(e.states.Load()),
-		Transitions: int(e.transitions.Load()),
-		DedupHits:   int(e.dedup.Load()),
+		Outcomes:          e.mergeOutcomes(),
+		States:            int(e.states.Load()),
+		Transitions:       int(e.transitions.Load()),
+		DedupHits:         int(e.dedup.Load()),
+		PorPrunes:         int(e.porPrunes.Load()),
+		TerminalCollapses: int(e.collapses.Load()),
 	}
 	e.publishFinal(res)
 	if e.truncated.Load() {

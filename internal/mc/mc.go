@@ -101,6 +101,14 @@ type Result struct {
 	// DedupHits is how many generated successors were already in the
 	// visited set (parallel engine only).
 	DedupHits int
+	// PorPrunes is how many states were expanded through the
+	// invisible-dequeue partial-order reduction instead of a full
+	// successor fan-out (parallel engine only; the reference explorer
+	// leaves it zero).
+	PorPrunes int
+	// TerminalCollapses is how many terminal states had their drain
+	// tails collapsed instead of explored (parallel engine only).
+	TerminalCollapses int
 }
 
 // Has reports whether the outcome string was observed.

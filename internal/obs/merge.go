@@ -1,0 +1,99 @@
+package obs
+
+import "sort"
+
+// MergeMetrics folds metric snapshots from several runs (or several
+// scrapes of the same run family) into one combined list, sorted by
+// name — the aggregation behind tbtso-obs. Per kind:
+//
+//   - counters sum: each run's count is independent work.
+//   - gauges take the max: a gauge is a level, not a flow, and across
+//     runs "the highest level any run reached" is the only merge that
+//     does not invent a value no run ever held.
+//   - histograms sum Count/Sum and matching buckets, widen Min/Max, and
+//     recompute Mean; quantiles are NOT mergeable from summaries and
+//     are dropped (zeroed) rather than fabricated. Runs whose bucket
+//     bounds disagree keep Count/Sum/Min/Max but drop the buckets too.
+//
+// A metric appearing under different kinds in different inputs keeps
+// the first kind seen and ignores later conflicting entries (counted
+// nowhere — the caller can diff input names against output names).
+func MergeMetrics(snapshots ...[]Metric) []Metric {
+	byName := make(map[string]*Metric)
+	var order []string
+	for _, snap := range snapshots {
+		for _, m := range snap {
+			acc, ok := byName[m.Name]
+			if !ok {
+				cp := m
+				if cp.Kind == "histogram" {
+					cp.P50, cp.P90, cp.P99, cp.P999 = 0, 0, 0, 0
+					cp.Buckets = append([]BucketCount(nil), m.Buckets...)
+				}
+				byName[m.Name] = &cp
+				order = append(order, m.Name)
+				continue
+			}
+			if acc.Kind != m.Kind {
+				continue
+			}
+			switch m.Kind {
+			case "counter":
+				acc.Value += m.Value
+			case "gauge":
+				if m.Value > acc.Value {
+					acc.Value = m.Value
+				}
+			case "histogram":
+				mergeHistogram(acc, m)
+			}
+		}
+	}
+	sort.Strings(order)
+	out := make([]Metric, 0, len(order))
+	for _, name := range order {
+		m := *byName[name]
+		if m.Kind == "histogram" && m.Count > 0 {
+			m.Mean = float64(m.Sum) / float64(m.Count)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func mergeHistogram(acc *Metric, m Metric) {
+	if m.Count == 0 {
+		return
+	}
+	if acc.Count == 0 {
+		acc.Min, acc.Max = m.Min, m.Max
+	} else {
+		if m.Min < acc.Min {
+			acc.Min = m.Min
+		}
+		if m.Max > acc.Max {
+			acc.Max = m.Max
+		}
+	}
+	acc.Count += m.Count
+	acc.Sum += m.Sum
+	if !sameBounds(acc.Buckets, m.Buckets) {
+		acc.Buckets = nil
+		return
+	}
+	for i := range acc.Buckets {
+		acc.Buckets[i].Count += m.Buckets[i].Count
+	}
+}
+
+func sameBounds(a, b []BucketCount) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Bound != b[i].Bound {
+			return false
+		}
+	}
+	return true
+}

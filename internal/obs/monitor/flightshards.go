@@ -1,0 +1,346 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"tbtso/internal/tso"
+)
+
+// CampaignFlightKind is the "kind" field of the merged campaign flight
+// artifact written by ShardedFlight.Dump.
+const CampaignFlightKind = "campaign-flight"
+
+// groupEventCap bounds the retained rendered events per seed group so a
+// pathological program cannot balloon the dump; beyond it only the
+// event count grows.
+const groupEventCap = 1024
+
+// RunRecord is one sampled machine run inside a seed group: the run
+// shape, an optional driver tag (Δ/policy/seed of the sample), and the
+// rendered event stream.
+type RunRecord struct {
+	Threads []string `json:"threads,omitempty"`
+	Delta   uint64   `json:"delta"`
+	// Tag identifies the sample within the sweep (set via TagRun).
+	Tag string `json:"tag,omitempty"`
+	// Events is the rendered event stream (capped per group).
+	Events []string `json:"events,omitempty"`
+}
+
+// SeedGroup is everything recorded while checking one generator seed's
+// program: its machine runs and any monitor violations they tripped.
+// Violations are attributed exactly: each group gets a fresh monitor
+// set, so a violating seed cannot contaminate its neighbours' reports.
+type SeedGroup struct {
+	Seed       int64       `json:"seed"`
+	Runs       []RunRecord `json:"runs,omitempty"`
+	Events     uint64      `json:"events"`
+	Dropped    uint64      `json:"dropped_events,omitempty"`
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// FlightShard is one worker's private recorder: a tso.Sink plus
+// RunObserver the campaign driver brackets with BeginGroup/EndGroup
+// around each program check. Not safe for concurrent use — exactly one
+// worker goroutine owns a shard, which is the point: no lock is ever
+// taken on the event hot path.
+type FlightShard struct {
+	parent *ShardedFlight
+	set    *Set // fresh per group (nil when no monitor factory)
+	groups map[int64]*SeedGroup
+	cur    *SeedGroup
+	curRun *RunRecord
+}
+
+// BeginGroup starts recording a seed's program check. Any unfinished
+// group is discarded (it was cut short and must not be reported).
+func (sh *FlightShard) BeginGroup(seed int64) {
+	sh.cur = &SeedGroup{Seed: seed}
+	sh.curRun = nil
+	if sh.parent.factory != nil {
+		sh.set = sh.parent.factory()
+	}
+}
+
+// EndGroup finishes the current group. keep=false discards it — the
+// check was interrupted, so a resumed campaign will re-record the seed
+// from scratch and the merged dump stays byte-identical.
+func (sh *FlightShard) EndGroup(keep bool) {
+	g := sh.cur
+	sh.cur, sh.curRun = nil, nil
+	if g == nil || !keep {
+		sh.set = nil
+		return
+	}
+	if sh.set != nil {
+		g.Violations = sh.set.Violations()
+		sh.set = nil
+	}
+	if sh.groups == nil {
+		sh.groups = make(map[int64]*SeedGroup)
+	}
+	sh.groups[g.Seed] = g
+}
+
+// BeginRun implements tso.RunObserver: a new machine run starts within
+// the current group.
+func (sh *FlightShard) BeginRun(names []string, delta uint64) {
+	if sh.set != nil {
+		sh.set.BeginRun(names, delta)
+	}
+	if sh.cur == nil {
+		return
+	}
+	sh.cur.Runs = append(sh.cur.Runs, RunRecord{Threads: append([]string(nil), names...), Delta: delta})
+	sh.curRun = &sh.cur.Runs[len(sh.cur.Runs)-1]
+}
+
+// TagRun labels the current run with the sweep sample that produced it
+// (e.g. "delta=1 policy=random seed=2").
+func (sh *FlightShard) TagRun(tag string) {
+	if sh.curRun != nil {
+		sh.curRun.Tag = tag
+	}
+}
+
+// Emit implements tso.Sink: render into the current run, bounded per
+// group, and fan out to the group's monitors.
+//
+//tbtso:fencefree
+func (sh *FlightShard) Emit(e tso.Event) {
+	if sh.set != nil {
+		sh.set.Emit(e)
+	}
+	if sh.cur == nil {
+		return
+	}
+	sh.cur.Events++
+	if sh.curRun == nil {
+		return
+	}
+	if sh.cur.Events > groupEventCap {
+		sh.cur.Dropped++
+		return
+	}
+	sh.curRun.Events = append(sh.curRun.Events, e.String())
+}
+
+// ShardedFlight is the parallel-campaign flight recorder: per-worker
+// FlightShard sinks record seed-tagged groups without any shared state,
+// and Compact — called only at report boundaries, when no worker is
+// emitting — folds the shards' groups for seeds below the campaign's
+// contiguous completed prefix into one merged, seed-ordered store.
+// The merged dump depends only on which seeds completed, never on how
+// they were sharded, so it is byte-identical across worker counts and
+// across a checkpoint/resume split (provided the resumed segment spans
+// at least the retention window — events themselves are not persisted
+// in checkpoints, only the running totals are).
+//
+// Dump/Violations/Totals read the merged store under a mutex and are
+// safe to call concurrently with workers emitting into shards (the live
+// /flightrecorder endpoint does); Compact must not run concurrently
+// with shard emission.
+type ShardedFlight struct {
+	factory  func() *Set // per-group monitor sets (nil = capture only)
+	maxSeeds int
+
+	mu          sync.Mutex
+	shards      []*FlightShard
+	merged      map[int64]*SeedGroup
+	firstSeed   int64
+	cutoff      int64 // merged covers exactly [firstSeed, cutoff)
+	totalEvents uint64
+	totalViol   uint64
+}
+
+// DefaultFlightSeeds is the default merged retention: the dump keeps
+// the last this-many completed seed groups.
+const DefaultFlightSeeds = 32
+
+// NewShardedFlight returns a sharded recorder. factory builds one
+// fresh monitor set per seed group (nil records events only);
+// maxSeeds is the merged retention window (<= 0 selects
+// DefaultFlightSeeds).
+func NewShardedFlight(factory func() *Set, maxSeeds int) *ShardedFlight {
+	if maxSeeds <= 0 {
+		maxSeeds = DefaultFlightSeeds
+	}
+	return &ShardedFlight{factory: factory, maxSeeds: maxSeeds, merged: make(map[int64]*SeedGroup)}
+}
+
+// Begin sets the campaign's first seed — the left edge of the prefix
+// the dump reports. Call once before the first batch.
+func (f *ShardedFlight) Begin(firstSeed int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.firstSeed, f.cutoff = firstSeed, firstSeed
+}
+
+// Restore seeds the running totals from a checkpoint, so a resumed
+// campaign's final dump reports the whole campaign's totals, not just
+// the resumed segment's. firstSeed is the campaign's (not the
+// segment's) first seed.
+func (f *ShardedFlight) Restore(firstSeed int64, totalEvents, totalViolations uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.firstSeed, f.cutoff = firstSeed, firstSeed
+	f.totalEvents, f.totalViol = totalEvents, totalViolations
+}
+
+// Shard returns worker i's private shard, creating it on first use.
+// The shard is stable across batches; only worker i may use it.
+func (f *ShardedFlight) Shard(i int) *FlightShard {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.shards) <= i {
+		f.shards = append(f.shards, &FlightShard{parent: f})
+	}
+	return f.shards[i]
+}
+
+// Compact folds every shard group with seed < cutoff into the merged
+// store and evicts the lowest seeds beyond the retention window. Call
+// only at report boundaries (no worker emitting): cutoff must be the
+// campaign's contiguous completed prefix, so the merged store only ever
+// holds prefix seeds — which makes eviction of the LOWEST seeds safe,
+// because the final dump retains exactly the highest maxSeeds prefix
+// seeds regardless of when compactions happened.
+func (f *ShardedFlight) Compact(cutoff int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if cutoff > f.cutoff {
+		f.cutoff = cutoff
+	}
+	for _, sh := range f.shards {
+		for seed, g := range sh.groups {
+			if seed >= f.cutoff {
+				continue
+			}
+			delete(sh.groups, seed)
+			f.merged[seed] = g
+			f.totalEvents += g.Events
+			f.totalViol += uint64(len(g.Violations))
+		}
+	}
+	if len(f.merged) > f.maxSeeds {
+		seeds := make([]int64, 0, len(f.merged))
+		for s := range f.merged {
+			seeds = append(seeds, s)
+		}
+		sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+		for _, s := range seeds[:len(seeds)-f.maxSeeds] {
+			delete(f.merged, s)
+		}
+	}
+}
+
+// Totals returns the running totals over every compacted prefix seed
+// (including evicted ones) — what a campaign persists in its
+// checkpoint for Restore.
+func (f *ShardedFlight) Totals() (events, violations uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.totalEvents, f.totalViol
+}
+
+// Violations returns the violations of every retained merged group, in
+// seed order. Violations from groups beyond the compacted prefix are
+// not visible until the next Compact.
+func (f *ShardedFlight) Violations() []Violation {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []Violation
+	for _, g := range f.sortedGroupsLocked() {
+		out = append(out, g.Violations...)
+	}
+	return out
+}
+
+func (f *ShardedFlight) sortedGroupsLocked() []*SeedGroup {
+	groups := make([]*SeedGroup, 0, len(f.merged))
+	for _, g := range f.merged {
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Seed < groups[j].Seed })
+	return groups
+}
+
+// CampaignFlightDump is the merged artifact wire form. It carries no
+// wall-clock or worker-count fields: two campaigns over the same seed
+// prefix dump byte-identical documents whatever their parallelism.
+type CampaignFlightDump struct {
+	Kind string `json:"kind"`
+	// FirstSeed..NextSeed is the covered prefix: every seed in
+	// [FirstSeed, NextSeed) completed and contributed to the totals.
+	FirstSeed int64 `json:"first_seed"`
+	NextSeed  int64 `json:"next_seed"`
+	// RetainedSeeds is how many groups the dump carries (the highest
+	// seeds of the prefix, up to the retention window); DroppedSeeds is
+	// the rest of the prefix.
+	RetainedSeeds   int         `json:"retained_seeds"`
+	DroppedSeeds    int64       `json:"dropped_seeds"`
+	TotalEvents     uint64      `json:"total_events"`
+	TotalViolations uint64      `json:"total_violations"`
+	Groups          []SeedGroup `json:"groups"`
+}
+
+// Dump writes the merged campaign flight artifact: seed-ordered
+// retained groups plus prefix-wide totals.
+func (f *ShardedFlight) Dump(w io.Writer) error {
+	f.mu.Lock()
+	groups := f.sortedGroupsLocked()
+	doc := CampaignFlightDump{
+		Kind:            CampaignFlightKind,
+		FirstSeed:       f.firstSeed,
+		NextSeed:        f.cutoff,
+		RetainedSeeds:   len(groups),
+		DroppedSeeds:    (f.cutoff - f.firstSeed) - int64(len(groups)),
+		TotalEvents:     f.totalEvents,
+		TotalViolations: f.totalViol,
+	}
+	doc.Groups = make([]SeedGroup, 0, len(groups))
+	for _, g := range groups {
+		doc.Groups = append(doc.Groups, *g)
+	}
+	f.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// DumpToFile writes the artifact to dir/<name>.flight.json, creating
+// dir as needed, and returns the written path.
+func (f *ShardedFlight) DumpToFile(dir, name string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name+".flight.json")
+	file, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := f.Dump(file); err != nil {
+		file.Close()
+		return "", err
+	}
+	return path, file.Close()
+}
+
+// ReadCampaignFlightDump parses a merged campaign flight artifact,
+// rejecting documents of the wrong kind.
+func ReadCampaignFlightDump(r io.Reader) (*CampaignFlightDump, error) {
+	var doc CampaignFlightDump
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, err
+	}
+	if doc.Kind != CampaignFlightKind {
+		return nil, fmt.Errorf("monitor: artifact kind %q, want %q", doc.Kind, CampaignFlightKind)
+	}
+	return &doc, nil
+}

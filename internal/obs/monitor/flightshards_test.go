@@ -1,0 +1,183 @@
+package monitor
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"tbtso/internal/tso"
+)
+
+// emitGroup records one synthetic seed group on sh: a single run with
+// a couple of events.
+func emitGroup(sh *FlightShard, seed int64) {
+	sh.BeginGroup(seed)
+	sh.BeginRun([]string{"T0"}, 4)
+	sh.TagRun(fmt.Sprintf("delta=4 policy=eager seed=%d", seed))
+	sh.Emit(tso.Event{Tick: uint64(seed), Thread: 0, Kind: tso.EvStore, Addr: 1, Val: tso.Word(seed)})
+	sh.Emit(tso.Event{Tick: uint64(seed) + 1, Thread: 0, Kind: tso.EvCommit, Addr: 1, Val: tso.Word(seed), Cause: tso.CauseFinal, Enq: uint64(seed)})
+	sh.EndGroup(true)
+}
+
+// dumpString compacts to cutoff and renders the dump.
+func dumpString(t *testing.T, f *ShardedFlight, cutoff int64) string {
+	t.Helper()
+	f.Compact(cutoff)
+	var buf bytes.Buffer
+	if err := f.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestShardingInvariance pins the tentpole property at the monitor
+// level: the merged dump depends only on which seeds completed, not on
+// how they were spread across shards or when compactions ran.
+func TestShardingInvariance(t *testing.T) {
+	const n = 50
+
+	// One shard, one final compact.
+	a := NewShardedFlight(nil, 8)
+	a.Begin(0)
+	for s := int64(0); s < n; s++ {
+		emitGroup(a.Shard(0), s)
+	}
+	da := dumpString(t, a, n)
+
+	// Three shards, round-robin, periodic compactions.
+	b := NewShardedFlight(nil, 8)
+	b.Begin(0)
+	for s := int64(0); s < n; s++ {
+		emitGroup(b.Shard(int(s)%3), s)
+		if s%7 == 0 {
+			b.Compact(s) // prefix-only: everything below s is complete
+		}
+	}
+	db := dumpString(t, b, n)
+
+	if da != db {
+		t.Errorf("dump depends on sharding/compaction schedule:\n--- one shard:\n%s\n--- three shards:\n%s", da, db)
+	}
+
+	// A resume split: totals restored from the "checkpoint", the
+	// remaining segment re-recorded. The segment is longer than the
+	// retention window, so the dump is byte-identical.
+	c := NewShardedFlight(nil, 8)
+	c.Begin(0)
+	for s := int64(0); s < 20; s++ {
+		emitGroup(c.Shard(0), s)
+	}
+	c.Compact(20)
+	ev, viol := c.Totals()
+
+	d := NewShardedFlight(nil, 8)
+	d.Restore(0, ev, viol)
+	for s := int64(20); s < n; s++ {
+		emitGroup(d.Shard(1), s)
+	}
+	dd := dumpString(t, d, n)
+	if da != dd {
+		t.Errorf("resumed dump differs from uninterrupted dump:\n--- uninterrupted:\n%s\n--- resumed:\n%s", da, dd)
+	}
+}
+
+func TestCompactKeepsOnlyPrefix(t *testing.T) {
+	f := NewShardedFlight(nil, 32)
+	f.Begin(0)
+	sh := f.Shard(0)
+	emitGroup(sh, 0)
+	emitGroup(sh, 5) // beyond the prefix: seeds 1..4 incomplete
+	f.Compact(1)
+	var buf bytes.Buffer
+	if err := f.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ReadCampaignFlightDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.RetainedSeeds != 1 || doc.NextSeed != 1 {
+		t.Errorf("dump covers %d..%d with %d groups, want prefix [0,1) with 1 group",
+			doc.FirstSeed, doc.NextSeed, doc.RetainedSeeds)
+	}
+	// The later compact picks seed 5 up once the prefix reaches it.
+	f.Compact(6)
+	buf.Reset()
+	if err := f.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc, err = ReadCampaignFlightDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.RetainedSeeds != 2 || doc.DroppedSeeds != 4 {
+		t.Errorf("retained=%d dropped=%d, want 2 retained, 4 dropped (seeds 1..4 never completed... they count as dropped prefix)", doc.RetainedSeeds, doc.DroppedSeeds)
+	}
+}
+
+func TestDiscardedGroupLeavesNoTrace(t *testing.T) {
+	f := NewShardedFlight(nil, 32)
+	f.Begin(0)
+	sh := f.Shard(0)
+	emitGroup(sh, 0)
+	sh.BeginGroup(1)
+	sh.BeginRun([]string{"T0"}, 4)
+	sh.Emit(tso.Event{Tick: 9, Thread: 0, Kind: tso.EvStore, Addr: 1, Val: 1})
+	sh.EndGroup(false) // interrupted check
+	s := dumpString(t, f, 1)
+	if strings.Contains(s, "t=9") {
+		t.Errorf("discarded group's events leaked into the dump:\n%s", s)
+	}
+	ev, _ := f.Totals()
+	if ev != 2 {
+		t.Errorf("totals include the discarded group: events=%d, want 2", ev)
+	}
+}
+
+// TestPerGroupMonitors pins that each group gets a fresh monitor set
+// and violations are attributed to their seed.
+func TestPerGroupMonitors(t *testing.T) {
+	f := NewShardedFlight(func() *Set {
+		return NewSet(NewResidency(nil, 1)) // Δ=1: any latency > 1 trips
+	}, 32)
+	f.Begin(0)
+	sh := f.Shard(0)
+
+	// Seed 0: commit latency 0 — clean.
+	sh.BeginGroup(0)
+	sh.BeginRun([]string{"T0"}, 1)
+	sh.Emit(tso.Event{Tick: 2, Thread: 0, Kind: tso.EvCommit, Addr: 1, Val: 1, Cause: tso.CauseDelta, Enq: 2})
+	sh.EndGroup(true)
+
+	// Seed 1: commit latency 5 > Δ=1 — violation.
+	sh.BeginGroup(1)
+	sh.BeginRun([]string{"T0"}, 1)
+	sh.Emit(tso.Event{Tick: 7, Thread: 0, Kind: tso.EvCommit, Addr: 1, Val: 1, Cause: tso.CauseDelta, Enq: 2})
+	sh.EndGroup(true)
+
+	f.Compact(2)
+	var buf bytes.Buffer
+	if err := f.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ReadCampaignFlightDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.TotalViolations != 1 {
+		t.Fatalf("TotalViolations = %d, want 1", doc.TotalViolations)
+	}
+	if len(doc.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(doc.Groups))
+	}
+	if len(doc.Groups[0].Violations) != 0 {
+		t.Errorf("clean seed 0 carries violations: %v", doc.Groups[0].Violations)
+	}
+	if len(doc.Groups[1].Violations) != 1 {
+		t.Errorf("violating seed 1 carries %d violations, want 1", len(doc.Groups[1].Violations))
+	}
+	if got := f.Violations(); len(got) != 1 {
+		t.Errorf("Violations() = %d entries, want 1", len(got))
+	}
+}

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"tbtso/internal/obs/coverage"
+)
+
+// WritePrometheusCoverage renders a coverage snapshot as
+// tbtso_coverage_* series in the Prometheus text exposition format,
+// appended to the /metrics scrape. Map-backed series carry labels
+// (op, shape, cause, or the cell's delta/policy/seed) and are emitted
+// in sorted key order, so two scrapes of equal snapshots are
+// byte-identical.
+func WritePrometheusCoverage(w io.Writer, s *coverage.Snapshot) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("# TYPE tbtso_coverage_programs_total counter\ntbtso_coverage_programs_total %d\n", s.Programs)
+	p("# TYPE tbtso_coverage_runs_total counter\ntbtso_coverage_runs_total %d\n", s.Runs)
+	p("# TYPE tbtso_coverage_cells gauge\ntbtso_coverage_cells %d\n", len(s.Cells))
+
+	if len(s.OpMix) > 0 {
+		p("# TYPE tbtso_coverage_ops_total counter\n")
+		for _, k := range coverage.SortedKeys(s.OpMix) {
+			p("tbtso_coverage_ops_total{op=%q} %d\n", k, s.OpMix[k])
+		}
+	}
+	if len(s.Cells) > 0 {
+		p("# TYPE tbtso_coverage_cell_runs_total counter\n")
+		for _, k := range coverage.SortedKeys(s.Cells) {
+			p("tbtso_coverage_cell_runs_total{%s} %d\n", cellLabels(k), s.Cells[k])
+		}
+	}
+	if len(s.DrainMix) > 0 {
+		p("# TYPE tbtso_coverage_drains_total counter\n")
+		for _, k := range coverage.SortedKeys(s.DrainMix) {
+			p("tbtso_coverage_drains_total{cause=%q} %d\n", k, s.DrainMix[k])
+		}
+	}
+	if len(s.Shapes) > 0 {
+		p("# TYPE tbtso_coverage_shape_programs_total counter\n")
+		for _, k := range coverage.SortedKeys(s.Shapes) {
+			p("tbtso_coverage_shape_programs_total{shape=%q} %d\n", k, s.Shapes[k].Programs)
+		}
+		p("# TYPE tbtso_coverage_shape_outcome_entropy_bits gauge\n")
+		for _, k := range coverage.SortedKeys(s.Shapes) {
+			p("tbtso_coverage_shape_outcome_entropy_bits{shape=%q} %g\n", k, s.Shapes[k].CardEntropy())
+		}
+	}
+	p("# TYPE tbtso_coverage_mc_explorations_total counter\ntbtso_coverage_mc_explorations_total %d\n", s.MC.Explorations)
+	p("# TYPE tbtso_coverage_mc_truncated_total counter\ntbtso_coverage_mc_truncated_total %d\n", s.MC.Truncated)
+	p("# TYPE tbtso_coverage_mc_states_total counter\ntbtso_coverage_mc_states_total %d\n", s.MC.States)
+	p("# TYPE tbtso_coverage_mc_transitions_total counter\ntbtso_coverage_mc_transitions_total %d\n", s.MC.Transitions)
+	p("# TYPE tbtso_coverage_mc_dedup_hits_total counter\ntbtso_coverage_mc_dedup_hits_total %d\n", s.MC.DedupHits)
+	p("# TYPE tbtso_coverage_mc_por_prunes_total counter\ntbtso_coverage_mc_por_prunes_total %d\n", s.MC.PorPrunes)
+	p("# TYPE tbtso_coverage_mc_terminal_collapses_total counter\ntbtso_coverage_mc_terminal_collapses_total %d\n", s.MC.TerminalCollapses)
+	return err
+}
+
+// cellLabels converts a coverage cell key ("delta=1 policy=eager
+// seed=0") into Prometheus labels (delta="1",policy="eager",seed="0").
+func cellLabels(key string) string {
+	parts := strings.Fields(key)
+	labels := make([]string, 0, len(parts))
+	for _, part := range parts {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			continue
+		}
+		labels = append(labels, fmt.Sprintf("%s=%q", k, v))
+	}
+	return strings.Join(labels, ",")
+}

@@ -38,7 +38,7 @@ type Options struct {
 
 // Register installs the -obs.* flags on fs (pass flag.CommandLine).
 func (o *Options) Register(fs *flag.FlagSet) {
-	fs.StringVar(&o.Listen, "obs.listen", "", "serve the ops endpoint (/metrics, /metrics.json, /healthz, /violations, /flightrecorder, /debug/pprof) on this address; :0 picks a port")
+	fs.StringVar(&o.Listen, "obs.listen", "", "serve the ops endpoint (/metrics, /metrics.json, /healthz, /violations, /flightrecorder, /coverage, /debug/pprof) on this address; :0 picks a port")
 	fs.StringVar(&o.Monitors, "obs.monitor", "", "attach online monitors to machine runs: comma list of residency[=Δ], drain, smr[=Δ], or all")
 	fs.DurationVar(&o.Linger, "obs.linger", 0, "keep the ops endpoint serving this long after the run finishes")
 	fs.StringVar(&o.FlightDir, "obs.flightdir", "", "write a flight-recorder artifact here when a monitor reports a violation")
@@ -148,6 +148,11 @@ func ParseMonitors(spec string, reg *obs.Registry) (*monitor.Set, error) {
 	}
 	return set, nil
 }
+
+// Server returns the running ops server (nil unless -obs.listen), so
+// commands can attach command-specific sources — a campaign's coverage
+// provider, a sharded flight dumper — after Start.
+func (s *Session) Server() *Server { return s.srv }
 
 // Sinks returns what to attach to each machine run: the flight
 // recorder (which fans out to the monitors) when monitoring is on,

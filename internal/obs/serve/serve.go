@@ -10,29 +10,45 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 
 	"tbtso/internal/obs"
+	"tbtso/internal/obs/coverage"
 	"tbtso/internal/obs/monitor"
 )
 
+// FlightDumper is anything that can dump a flight artifact:
+// *monitor.FlightRecorder (single-machine runs) or
+// *monitor.ShardedFlight (parallel campaigns).
+type FlightDumper interface {
+	Dump(w io.Writer) error
+}
+
 // Server is the embedded ops endpoint. Zero-value fields degrade
 // gracefully: without a monitor set /violations reports an empty
-// list, without a recorder /flightrecorder is 404.
+// list, without a recorder /flightrecorder is 404, without a coverage
+// source /coverage is 404.
 type Server struct {
 	reg *obs.Registry
-	set *monitor.Set
-	rec *monitor.FlightRecorder
+	rec FlightDumper
 	mux *http.ServeMux
+
+	mu         sync.Mutex
+	set        *monitor.Set
+	violSrcs   []func() []monitor.Violation
+	coverageFn func() *coverage.Snapshot
 
 	ln   net.Listener
 	http *http.Server
 }
 
-// New returns a server exposing reg. Attach monitors and a flight
-// recorder with SetMonitors/SetFlightRecorder before Start.
+// New returns a server exposing reg. Attach monitors, a flight
+// recorder and a coverage source with SetMonitors/SetFlightRecorder/
+// SetCoverage before Start.
 func New(reg *obs.Registry) *Server {
 	s := &Server{reg: reg, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -40,6 +56,7 @@ func New(reg *obs.Registry) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/violations", s.handleViolations)
 	s.mux.HandleFunc("/flightrecorder", s.handleFlightRecorder)
+	s.mux.HandleFunc("/coverage", s.handleCoverage)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -50,10 +67,59 @@ func New(reg *obs.Registry) *Server {
 
 // SetMonitors attaches the monitor set behind /violations and the
 // health check.
-func (s *Server) SetMonitors(set *monitor.Set) { s.set = set }
+func (s *Server) SetMonitors(set *monitor.Set) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.set = set
+}
 
-// SetFlightRecorder attaches the recorder behind /flightrecorder.
-func (s *Server) SetFlightRecorder(rec *monitor.FlightRecorder) { s.rec = rec }
+// SetFlightRecorder attaches the dumper behind /flightrecorder — the
+// classic FlightRecorder or a campaign's ShardedFlight.
+func (s *Server) SetFlightRecorder(rec FlightDumper) { s.rec = rec }
+
+// AddViolations registers an extra violation source folded into
+// /violations and /healthz alongside the monitor set — e.g. a sharded
+// campaign recorder's per-seed violations.
+func (s *Server) AddViolations(src func() []monitor.Violation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.violSrcs = append(s.violSrcs, src)
+}
+
+// SetCoverage attaches the /coverage source: a function returning the
+// latest published campaign coverage snapshot (it must be safe for
+// concurrent calls; returning nil means "nothing yet"). The snapshot
+// is also rendered into the Prometheus scrape as tbtso_coverage_*.
+func (s *Server) SetCoverage(fn func() *coverage.Snapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.coverageFn = fn
+}
+
+func (s *Server) coverageSnapshot() *coverage.Snapshot {
+	s.mu.Lock()
+	fn := s.coverageFn
+	s.mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}
+
+func (s *Server) allViolations() []monitor.Violation {
+	s.mu.Lock()
+	set := s.set
+	srcs := append([]func() []monitor.Violation(nil), s.violSrcs...)
+	s.mu.Unlock()
+	violations := []monitor.Violation{}
+	if set != nil {
+		violations = append(violations, set.Violations()...)
+	}
+	for _, src := range srcs {
+		violations = append(violations, src()...)
+	}
+	return violations
+}
 
 // Handler returns the ops mux (for tests and embedding).
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -85,6 +151,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		// Too late for a status code; the scrape will be truncated.
 		return
 	}
+	if snap := s.coverageSnapshot(); snap != nil {
+		WritePrometheusCoverage(w, snap) //nolint:errcheck // same scrape
+	}
 }
 
 func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
@@ -93,10 +162,7 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	n := 0
-	if s.set != nil {
-		n = len(s.set.Violations())
-	}
+	n := len(s.allViolations())
 	w.Header().Set("Content-Type", "application/json")
 	if n > 0 {
 		w.WriteHeader(http.StatusServiceUnavailable)
@@ -107,14 +173,22 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request) {
-	violations := []monitor.Violation{}
-	if s.set != nil {
-		violations = append(violations, s.set.Violations()...)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{"violations": s.allViolations()}) //nolint:errcheck
+}
+
+func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
+	snap := s.coverageSnapshot()
+	if snap == nil {
+		http.Error(w, "no coverage source attached (campaign not started?)", http.StatusNotFound)
+		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(map[string]any{"violations": violations}) //nolint:errcheck
+	enc.Encode(snap) //nolint:errcheck
 }
 
 func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {

@@ -14,8 +14,13 @@ import (
 type Table struct {
 	Title   string
 	Headers []string
-	rows    [][]string
-	notes   []string
+	// Interrupted marks a table cut short mid-flight (rows below the
+	// last completed cell are missing). It rides the JSON wire form, so
+	// machine consumers — tbtso-bench -compare, tbtso-obs — can refuse
+	// partial documents without scraping footnote text.
+	Interrupted bool
+	rows        [][]string
+	notes       []string
 }
 
 // NewTable creates a table with the given title and column headers.
@@ -113,10 +118,11 @@ func (t *Table) Notes() []string { return t.notes }
 // tableJSON is the wire form of a table: the same title/headers/rows
 // the text renderers use, as data.
 type tableJSON struct {
-	Title   string     `json:"title"`
-	Headers []string   `json:"headers"`
-	Rows    [][]string `json:"rows"`
-	Notes   []string   `json:"notes,omitempty"`
+	Title       string     `json:"title"`
+	Headers     []string   `json:"headers"`
+	Interrupted bool       `json:"interrupted,omitempty"`
+	Rows        [][]string `json:"rows"`
+	Notes       []string   `json:"notes,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler: {title, headers, rows, notes}
@@ -128,10 +134,11 @@ func (t *Table) MarshalJSON() ([]byte, error) {
 		rows = [][]string{}
 	}
 	return json.Marshal(tableJSON{
-		Title:   t.Title,
-		Headers: t.Headers,
-		Rows:    rows,
-		Notes:   t.notes,
+		Title:       t.Title,
+		Headers:     t.Headers,
+		Interrupted: t.Interrupted,
+		Rows:        rows,
+		Notes:       t.notes,
 	})
 }
 
@@ -144,6 +151,7 @@ func (t *Table) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	t.Title, t.Headers, t.rows, t.notes = doc.Title, doc.Headers, doc.Rows, doc.Notes
+	t.Interrupted = doc.Interrupted
 	return nil
 }
 
